@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the bio-signal substrate: conditioning filter,
+//! delineator, classifier and the synthetic ECG generator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wbsn_dsp::ecg::{synthesize, EcgConfig};
+use wbsn_dsp::mmd::MmdDelineator;
+use wbsn_dsp::morphology::MorphFilter;
+use wbsn_dsp::rproj::{NearestCentroid, RandomProjection};
+
+fn filter_throughput(c: &mut Criterion) {
+    let rec = synthesize(&EcgConfig {
+        fs: 500,
+        duration_s: 4.0,
+        ..EcgConfig::healthy_60s()
+    });
+    let lead = &rec.leads[0];
+    let mut group = c.benchmark_group("dsp");
+    group.throughput(Throughput::Elements(lead.len() as u64));
+    group.bench_function("morph_filter_4s", |b| {
+        b.iter(|| MorphFilter::new(30, 50, 5).filter(lead))
+    });
+    group.bench_function("mmd_delineate_4s", |b| {
+        b.iter(|| MmdDelineator::standard_250hz().delineate(lead))
+    });
+    group.finish();
+}
+
+fn classifier(c: &mut Criterion) {
+    let projection = RandomProjection::new_seeded(4, 32, 7);
+    let window: Vec<i16> = (0..32).map(|i| (i * 91 % 777 - 300) as i16).collect();
+    let decision = NearestCentroid::new(vec![10, -20, 30, -40], vec![-10, 20, -30, 40]);
+    let mut group = c.benchmark_group("rproj");
+    group.bench_function("project_and_classify", |b| {
+        b.iter(|| decision.classify(&projection.project(&window)))
+    });
+    group.finish();
+}
+
+fn synthesis(c: &mut Criterion) {
+    let config = EcgConfig {
+        fs: 500,
+        duration_s: 10.0,
+        pathological_fraction: 0.2,
+        ..EcgConfig::healthy_60s()
+    };
+    let mut group = c.benchmark_group("ecg");
+    group.throughput(Throughput::Elements(config.samples() as u64));
+    group.bench_function("synthesize_10s_3leads", |b| b.iter(|| synthesize(&config)));
+    group.finish();
+}
+
+criterion_group!(benches, filter_throughput, classifier, synthesis);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Experiment-regeneration benches: one Criterion target per reproduced
+//! table/figure, running a shortened slice of the corresponding
+//! measurement flow. The printable full-length reproductions live in the
+//! `table1`, `fig6` and `fig7` binaries; these benches keep the flows
+//! exercised (and timed) by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wbsn_bench::{measure, BenchmarkId as Bench, ExperimentConfig, RunVariant};
+use wbsn_kernels::ClassifierParams;
+
+fn quick_config(fraction: f64) -> ExperimentConfig {
+    ExperimentConfig {
+        duration_s: 1.5,
+        calibration_s: 1.0,
+        pathological_fraction: fraction,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn table1_rows(c: &mut Criterion) {
+    let params = ClassifierParams::default_trained();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("mf_sc_and_mc_row", |b| {
+        b.iter(|| {
+            let config = quick_config(0.2);
+            let sc = measure(Bench::Mf, RunVariant::SingleCore, &config, &params)
+                .expect("SC measures");
+            let mc = measure(Bench::Mf, RunVariant::MultiCoreSync, &config, &params)
+                .expect("MC measures");
+            (sc.power_uw(), mc.power_uw())
+        })
+    });
+    group.finish();
+}
+
+fn fig6_bars(c: &mut Criterion) {
+    let params = ClassifierParams::default_trained();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("mmd_three_bars", |b| {
+        b.iter(|| {
+            let config = quick_config(0.2);
+            [
+                RunVariant::SingleCore,
+                RunVariant::MultiCoreBusyWait,
+                RunVariant::MultiCoreSync,
+            ]
+            .map(|v| {
+                measure(Bench::Mmd, v, &config, &params)
+                    .expect("measures")
+                    .breakdown
+            })
+        })
+    });
+    group.finish();
+}
+
+fn fig7_point(c: &mut Criterion) {
+    let params = ClassifierParams::default_trained();
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("rpclass_20pct_point", |b| {
+        b.iter(|| {
+            let config = quick_config(0.2);
+            let sc = measure(Bench::RpClass, RunVariant::SingleCore, &config, &params)
+                .expect("SC measures");
+            let mc = measure(Bench::RpClass, RunVariant::MultiCoreSync, &config, &params)
+                .expect("MC measures");
+            100.0 * (1.0 - mc.power_uw() / sc.power_uw())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1_rows, fig6_bars, fig7_point);
+criterion_main!(benches);

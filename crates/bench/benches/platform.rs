@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the platform substrates: simulator throughput,
+//! synchronizer commit path and crossbar arbitration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wbsn_core::{CoreId, Synchronizer};
+use wbsn_dsp::ecg::{synthesize, EcgConfig};
+use wbsn_isa::SyncKind;
+use wbsn_kernels::{build_mf, Arch, BuildOptions};
+use wbsn_sim::xbar::{arbitrate, Request};
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform");
+    group.sample_size(10);
+    let rec = synthesize(&EcgConfig {
+        fs: 500,
+        duration_s: 1.0,
+        ..EcgConfig::healthy_60s()
+    });
+    for (label, arch) in [("mf_sc", Arch::SingleCore), ("mf_mc", Arch::MultiCore)] {
+        let app = build_mf(arch, &BuildOptions::default()).expect("builds");
+        let samples = rec.leads[0].len() as u64;
+        let cycles = app.config.adc.start_cycle + samples * app.config.adc.period_cycles;
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_function(BenchmarkId::new("simulate_1s", label), |b| {
+            b.iter(|| {
+                let mut platform = app.platform(rec.leads.clone()).expect("platform");
+                platform.run(cycles).expect("runs");
+                platform.stats().total_active_cycles()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn synchronizer_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synchronizer");
+    group.bench_function("merged_barrier_cycle", |b| {
+        let mut sync = Synchronizer::new(8, 16).expect("valid");
+        let cores: Vec<CoreId> = (0..8).map(|i| CoreId::new(i).expect("in range")).collect();
+        b.iter(|| {
+            for &core in &cores {
+                sync.submit_op(core, SyncKind::Inc, 3).expect("staged");
+            }
+            sync.commit().expect("consistent");
+            for &core in &cores {
+                sync.submit_op(core, SyncKind::Dec, 3).expect("staged");
+            }
+            sync.commit().expect("consistent")
+        })
+    });
+    group.finish();
+}
+
+fn crossbar_arbitration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar");
+    let all_same: Vec<Request> = (0..8)
+        .map(|core| Request {
+            core,
+            bank: 2,
+            addr: 0x100,
+            write: false,
+        })
+        .collect();
+    let all_conflicting: Vec<Request> = (0..8)
+        .map(|core| Request {
+            core,
+            bank: 2,
+            addr: 0x100 + core as u32 * 16,
+            write: false,
+        })
+        .collect();
+    let disjoint: Vec<Request> = (0..8)
+        .map(|core| Request {
+            core,
+            bank: core % 8,
+            addr: core as u32,
+            write: core % 2 == 0,
+        })
+        .collect();
+    for (label, reqs) in [
+        ("broadcast_merge", &all_same),
+        ("bank_conflict", &all_conflicting),
+        ("disjoint", &disjoint),
+    ] {
+        group.bench_function(label, |b| b.iter(|| arbitrate(reqs, 3, true)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput, synchronizer_commit, crossbar_arbitration);
+criterion_main!(benches);

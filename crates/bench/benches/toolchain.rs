@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the tool-chain substrate: instruction
+//! encode/decode, text assembly, linking and whole-application builds.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wbsn_isa::{assemble_text, Instr, Linker, Reg, Section};
+use wbsn_kernels::{build_mmd, Arch, BuildOptions};
+
+fn encode_decode(c: &mut Criterion) {
+    let instrs = [
+        Instr::add(Reg::R1, Reg::R2, Reg::R3),
+        Instr::lw(Reg::R4, Reg::R5, -7),
+        Instr::sinc(3),
+        Instr::Branch {
+            cond: wbsn_isa::BranchCond::Ne,
+            ra: Reg::R1,
+            rb: Reg::R0,
+            off: -12,
+        },
+        Instr::Jmp { off: 1000 },
+    ];
+    let words: Vec<u32> = instrs.iter().map(|i| i.encode().expect("encodes")).collect();
+    let mut group = c.benchmark_group("isa");
+    group.throughput(Throughput::Elements(instrs.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            instrs
+                .iter()
+                .map(|i| i.encode().expect("encodes"))
+                .sum::<u32>()
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .map(|&w| Instr::decode(w).expect("decodes"))
+                .filter(|i| !i.is_control())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+const KERNEL_SOURCE: &str = "li r1, 100\n\
+                             loop: addi r1, r1, -1\n\
+                             lw r2, 7(r1)\n\
+                             add r3, r3, r2\n\
+                             bne r1, r0, loop\n\
+                             sw r3, 0x200(r0)\n\
+                             halt\n";
+
+fn assembler_and_linker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toolchain");
+    group.throughput(Throughput::Bytes(KERNEL_SOURCE.len() as u64));
+    group.bench_function("assemble_text", |b| {
+        b.iter(|| assemble_text(KERNEL_SOURCE).expect("assembles"))
+    });
+    let program = assemble_text(KERNEL_SOURCE).expect("assembles");
+    group.bench_function("link_8_sections", |b| {
+        b.iter(|| {
+            let mut linker = Linker::new();
+            for bank in 0..8 {
+                linker.add_section(Section::in_bank(
+                    format!("s{bank}"),
+                    program.clone(),
+                    bank,
+                ));
+                linker.set_entry(bank, format!("s{bank}"));
+            }
+            linker.link().expect("links")
+        })
+    });
+    group.bench_function("build_mmd_multicore", |b| {
+        b.iter(|| build_mmd(Arch::MultiCore, &BuildOptions::default()).expect("builds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, encode_decode, assembler_and_linker);
+criterion_main!(benches);

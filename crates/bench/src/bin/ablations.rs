@@ -1,0 +1,100 @@
+//! Ablation study of the design choices DESIGN.md calls out:
+//!
+//! * **broadcast off** — crossbars stop merging same-address reads;
+//!   isolates the instruction/data broadcasting contribution.
+//! * **lock-step barrier off** — the conditioning group never
+//!   re-synchronizes after divergence; shows how much broadcast decays
+//!   without the paper's branch-recovery mechanism.
+//! * **VFS off** — the multi-core platform is pinned to the baseline's
+//!   clock and voltage; isolates the voltage-frequency-scaling
+//!   contribution (the decomposition of Fig. 7's discussion, §V-C).
+//! * **busy wait** — the full "without the proposed approach" bar of
+//!   Fig. 6, for reference.
+//!
+//! Usage: `cargo run --release -p wbsn-bench --bin ablations`
+//! (`WBSN_DURATION_S` overrides the observation window.)
+
+use wbsn_bench::experiment::measure_at_clock;
+use wbsn_bench::{measure, BenchmarkId, ExperimentConfig, Measurement, RunVariant};
+use wbsn_kernels::ClassifierParams;
+
+fn main() {
+    let duration_s = std::env::var("WBSN_DURATION_S")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+    let base = ExperimentConfig {
+        duration_s,
+        ..ExperimentConfig::default()
+    };
+    let params = ClassifierParams::default_trained();
+    eprintln!("# Ablations on 3L-MF (the broadcast-heaviest benchmark), {duration_s} s simulated");
+
+    let sc = measure(BenchmarkId::Mf, RunVariant::SingleCore, &base, &params)
+        .expect("SC baseline");
+    let full = measure(BenchmarkId::Mf, RunVariant::MultiCoreSync, &base, &params)
+        .expect("full approach");
+    let no_broadcast = measure(
+        BenchmarkId::Mf,
+        RunVariant::MultiCoreSync,
+        &ExperimentConfig {
+            disable_broadcast: true,
+            ..base.clone()
+        },
+        &params,
+    )
+    .expect("broadcast ablation");
+    let no_lockstep = measure(
+        BenchmarkId::Mf,
+        RunVariant::MultiCoreSync,
+        &ExperimentConfig {
+            disable_lockstep: true,
+            ..base.clone()
+        },
+        &params,
+    )
+    .expect("lock-step ablation");
+    let preloaded = measure(
+        BenchmarkId::Mf,
+        RunVariant::MultiCoreSync,
+        &ExperimentConfig {
+            preloaded_barrier: true,
+            ..base.clone()
+        },
+        &params,
+    )
+    .expect("preloaded barrier");
+    let no_vfs = measure_at_clock(
+        BenchmarkId::Mf,
+        RunVariant::MultiCoreSync,
+        &base,
+        &params,
+        sc.clock_hz,
+    )
+    .expect("VFS ablation");
+    let busy = measure(BenchmarkId::Mf, RunVariant::MultiCoreBusyWait, &base, &params)
+        .expect("busy wait");
+
+    println!(
+        "{:<26} {:>9} {:>7} {:>11} {:>11} {:>12}",
+        "configuration", "f (MHz)", "V", "IM bcast %", "power (uW)", "vs SC"
+    );
+    let row = |label: &str, m: &Measurement| {
+        println!(
+            "{:<26} {:>9.2} {:>7.1} {:>11.2} {:>11.2} {:>11.1}%",
+            label,
+            m.clock_hz / 1e6,
+            m.voltage,
+            m.im_broadcast_percent,
+            m.power_uw(),
+            100.0 * (1.0 - m.power_uw() / sc.power_uw())
+        );
+    };
+    row("SC baseline", &sc);
+    row("MC full approach", &full);
+    row("MC - no broadcast", &no_broadcast);
+    row("MC - no lock-step barrier", &no_lockstep);
+    row("MC - preloaded barrier", &preloaded);
+    row("MC - no VFS (SC's V/f)", &no_vfs);
+    row("MC - busy wait", &busy);
+}

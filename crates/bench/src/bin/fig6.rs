@@ -1,0 +1,62 @@
+//! Reproduces Fig. 6: power-consumption decomposition of the single-core
+//! (SC) and multi-core (MC) systems with and without the proposed
+//! synchronization approach.
+//!
+//! Usage: `cargo run --release -p wbsn-bench --bin fig6`
+//!
+//! Environment:
+//! * `WBSN_DURATION_S` — observation window (default 60 s).
+//! * `WBSN_NO_BROADCAST=1` — ablation: disable crossbar broadcasting.
+
+use wbsn_bench::{measure, BenchmarkId, ExperimentConfig, RunVariant};
+use wbsn_kernels::ClassifierParams;
+
+fn main() {
+    let config = ExperimentConfig {
+        duration_s: std::env::var("WBSN_DURATION_S")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(60.0),
+        disable_broadcast: std::env::var("WBSN_NO_BROADCAST").is_ok(),
+        ..ExperimentConfig::default()
+    };
+    let params = ClassifierParams::default_trained();
+    eprintln!(
+        "# Fig. 6 reproduction — power decomposition (uW), {} s simulated{}",
+        config.duration_s,
+        if config.disable_broadcast {
+            ", broadcasting DISABLED (ablation)"
+        } else {
+            ""
+        }
+    );
+
+    let variants = [
+        RunVariant::SingleCore,
+        RunVariant::MultiCoreBusyWait,
+        RunVariant::MultiCoreSync,
+    ];
+    println!(
+        "{:<10} {:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "config", "cores", "prog mem", "data mem", "intercon", "clock", "total"
+    );
+    for benchmark in BenchmarkId::ALL {
+        for variant in variants {
+            let m = measure(benchmark, variant, &config, &params)
+                .unwrap_or_else(|e| panic!("{} {} failed: {e}", benchmark.name(), variant.label()));
+            let b = &m.breakdown;
+            println!(
+                "{:<10} {:<14} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                benchmark.name(),
+                variant.label(),
+                b.cores_and_logic_uw,
+                b.prog_mem_uw,
+                b.data_mem_uw,
+                b.interconnect_uw,
+                b.clock_tree_uw,
+                b.total_uw()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,66 @@
+//! Reproduces Fig. 7: power consumption of the single-core (SC) and
+//! multi-core (MC) systems, and the respective reduction, while the
+//! proportion of abnormal (pathological) heartbeats in the RP-CLASS
+//! input sweeps from 0% to 100%.
+//!
+//! Usage: `cargo run --release -p wbsn-bench --bin fig7`
+//!
+//! Environment:
+//! * `WBSN_DURATION_S` — observation window (default 60 s).
+//! * `WBSN_NO_VFS=1` — ablation: run the multi-core platform at the
+//!   baseline's clock and voltage, isolating the broadcast contribution.
+
+use wbsn_bench::experiment::measure_at_clock;
+use wbsn_bench::{measure, BenchmarkId, ExperimentConfig, RunVariant};
+use wbsn_kernels::ClassifierParams;
+
+fn main() {
+    let duration_s = std::env::var("WBSN_DURATION_S")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60.0);
+    let no_vfs = std::env::var("WBSN_NO_VFS").is_ok();
+    let params = ClassifierParams::default_trained();
+    eprintln!(
+        "# Fig. 7 reproduction — RP-CLASS, {} s simulated{}",
+        duration_s,
+        if no_vfs { ", VFS DISABLED (ablation)" } else { "" }
+    );
+
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "abnormal (%)", "SC f(MHz)", "MC f(MHz)", "SC (uW)", "MC (uW)", "reduction (%)"
+    );
+    for fraction in [0.0, 0.10, 0.20, 0.25, 0.33, 0.50, 1.00] {
+        let config = ExperimentConfig {
+            duration_s,
+            pathological_fraction: fraction,
+            ..ExperimentConfig::default()
+        };
+        let sc = measure(BenchmarkId::RpClass, RunVariant::SingleCore, &config, &params)
+            .unwrap_or_else(|e| panic!("SC at {fraction} failed: {e}"));
+        let mc = if no_vfs {
+            measure_at_clock(
+                BenchmarkId::RpClass,
+                RunVariant::MultiCoreSync,
+                &config,
+                &params,
+                sc.clock_hz,
+            )
+            .unwrap_or_else(|e| panic!("MC (no VFS) at {fraction} failed: {e}"))
+        } else {
+            measure(BenchmarkId::RpClass, RunVariant::MultiCoreSync, &config, &params)
+                .unwrap_or_else(|e| panic!("MC at {fraction} failed: {e}"))
+        };
+        let reduction = 100.0 * (1.0 - mc.power_uw() / sc.power_uw());
+        println!(
+            "{:>12.0} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>12.1}",
+            fraction * 100.0,
+            sc.clock_hz / 1e6,
+            mc.clock_hz / 1e6,
+            sc.power_uw(),
+            mc.power_uw(),
+            reduction
+        );
+    }
+}

@@ -1,0 +1,16 @@
+//! The evaluation harness: reproduces every table and figure of the
+//! paper's evaluation section.
+//!
+//! * [`experiment`] — the per-configuration measurement flow (calibrate →
+//!   select V/f → measure power over a long simulated window).
+//! * Binaries:
+//!   * `table1` — Table I: per-benchmark SC vs MC execution details.
+//!   * `fig6` — Fig. 6: power decomposition for SC, MC without the
+//!     proposed synchronization (busy wait) and MC with it.
+//!   * `fig7` — Fig. 7: RP-CLASS power vs pathological-beat fraction.
+//!
+//! Criterion micro-benchmarks for the substrates live under `benches/`.
+
+pub mod experiment;
+
+pub use experiment::{measure, BenchmarkId, ExperimentConfig, Measurement, RunVariant};

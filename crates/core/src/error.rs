@@ -1,0 +1,188 @@
+//! Error types of the synchronization methodology.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the synchronizer unit and the synchronization-point
+/// algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncError {
+    /// A core index exceeded the platform's flag byte.
+    CoreOutOfRange {
+        /// The offending index.
+        index: usize,
+    },
+    /// A synchronization-point literal exceeded the configured number of
+    /// points.
+    PointOutOfRange {
+        /// The offending literal.
+        point: u16,
+        /// Number of configured points.
+        points: usize,
+    },
+    /// A point's up/down counter would exceed 255 — more `SINC`s than the
+    /// protocol allows.
+    CounterOverflow,
+    /// A point's up/down counter would drop below zero — an `SDEC`
+    /// without a matching `SINC` (or preloaded count).
+    CounterUnderflow,
+    /// The synchronizer was configured with zero cores or more cores than
+    /// the flag byte can identify.
+    BadCoreCount {
+        /// Requested core count.
+        cores: usize,
+    },
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SyncError::CoreOutOfRange { index } => {
+                write!(f, "core index {index} exceeds the flag byte (max 7)")
+            }
+            SyncError::PointOutOfRange { point, points } => write!(
+                f,
+                "synchronization point {point} outside configured range 0..{points}"
+            ),
+            SyncError::CounterOverflow => {
+                f.write_str("synchronization counter overflow (more than 255 pending SINCs)")
+            }
+            SyncError::CounterUnderflow => {
+                f.write_str("synchronization counter underflow (SDEC without matching SINC)")
+            }
+            SyncError::BadCoreCount { cores } => {
+                write!(f, "invalid core count {cores} (expected 1..=8)")
+            }
+        }
+    }
+}
+
+impl Error for SyncError {}
+
+/// Errors raised while validating a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskGraphError {
+    /// An edge referenced a phase that does not exist.
+    UnknownPhase {
+        /// The dangling phase index.
+        index: usize,
+    },
+    /// The producer-consumer edges form a cycle.
+    Cyclic,
+    /// Two phases share a name.
+    DuplicatePhase(String),
+    /// An edge connects a phase to itself.
+    SelfEdge {
+        /// The phase with the self edge.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TaskGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskGraphError::UnknownPhase { index } => {
+                write!(f, "edge references unknown phase {index}")
+            }
+            TaskGraphError::Cyclic => f.write_str("producer-consumer edges form a cycle"),
+            TaskGraphError::DuplicatePhase(name) => {
+                write!(f, "duplicate phase name `{name}`")
+            }
+            TaskGraphError::SelfEdge { index } => {
+                write!(f, "phase {index} has a producer-consumer edge to itself")
+            }
+        }
+    }
+}
+
+impl Error for TaskGraphError {}
+
+/// Errors raised while mapping a task graph onto the platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The graph needs more cores than the platform provides.
+    NotEnoughCores {
+        /// Cores required by the partitioning.
+        needed: usize,
+        /// Cores available.
+        available: usize,
+    },
+    /// The graph needs more instruction banks than the platform provides.
+    NotEnoughBanks {
+        /// Banks required (one per phase).
+        needed: usize,
+        /// Banks available.
+        available: usize,
+    },
+    /// More synchronization points are required than the synchronizer
+    /// was configured with.
+    NotEnoughSyncPoints {
+        /// Points required.
+        needed: usize,
+        /// Points available.
+        available: usize,
+    },
+    /// The task graph failed validation.
+    Graph(TaskGraphError),
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::NotEnoughCores { needed, available } => {
+                write!(f, "mapping needs {needed} cores, platform has {available}")
+            }
+            MappingError::NotEnoughBanks { needed, available } => write!(
+                f,
+                "mapping needs {needed} instruction banks, platform has {available}"
+            ),
+            MappingError::NotEnoughSyncPoints { needed, available } => write!(
+                f,
+                "mapping needs {needed} synchronization points, synchronizer has {available}"
+            ),
+            MappingError::Graph(e) => write!(f, "invalid task graph: {e}"),
+        }
+    }
+}
+
+impl Error for MappingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MappingError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TaskGraphError> for MappingError {
+    fn from(e: TaskGraphError) -> Self {
+        MappingError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errors: Vec<Box<dyn Error>> = vec![
+            Box::new(SyncError::CounterOverflow),
+            Box::new(SyncError::PointOutOfRange { point: 9, points: 4 }),
+            Box::new(TaskGraphError::Cyclic),
+            Box::new(MappingError::NotEnoughCores {
+                needed: 9,
+                available: 8,
+            }),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn mapping_error_wraps_graph_error() {
+        let m: MappingError = TaskGraphError::Cyclic.into();
+        assert!(m.source().is_some());
+    }
+}

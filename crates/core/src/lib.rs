@@ -1,0 +1,59 @@
+//! The HW/SW code-synchronization methodology of Braojos et al.
+//! (DATE 2014) — the paper's primary contribution.
+//!
+//! Three pieces make up the approach:
+//!
+//! * [`sync_point`] — the synchronization-point word format of Fig. 3:
+//!   per-core identification flags in the most-significant bits, an
+//!   up/down counter in the least-significant bits, and the merge rules
+//!   applied when several cores touch the same point in one cycle.
+//! * [`synchronizer`] — the lightweight synchronizer unit that merges
+//!   simultaneous requests into one consistent memory modification,
+//!   clock-gates cores that execute `SLEEP`, wakes every flagged core
+//!   when a point's counter reaches zero, and forwards peripheral
+//!   interrupts to subscribed cores.
+//! * [`task_graph`] + [`mapping`] — the three-step software methodology:
+//!   partition an application into phases, insert synchronization
+//!   instructions (SNOP on consumers, SINC/SDEC on producers and around
+//!   data-dependent branches), and map phases onto cores and
+//!   instruction-memory banks.
+//!
+//! # Example
+//!
+//! Three producers and one consumer meeting at a synchronization point:
+//!
+//! ```
+//! use wbsn_core::{CoreId, Synchronizer};
+//! use wbsn_isa::SyncKind;
+//!
+//! # fn main() -> Result<(), wbsn_core::SyncError> {
+//! let mut sync = Synchronizer::new(8, 4)?;
+//! for core in 0..3 {
+//!     sync.submit_op(CoreId::new(core)?, SyncKind::Inc, 0)?; // producers register
+//! }
+//! sync.submit_op(CoreId::new(4)?, SyncKind::Nop, 0)?; // consumer registers
+//! sync.commit()?;
+//!
+//! sync.request_sleep(CoreId::new(4)?); // consumer goes to clock-gated mode
+//! sync.commit()?;
+//!
+//! for core in 0..3 {
+//!     sync.submit_op(CoreId::new(core)?, SyncKind::Dec, 0)?; // data ready
+//! }
+//! let outcome = sync.commit()?;
+//! assert!(outcome.woken.contains(CoreId::new(4)?)); // consumer resumes
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod mapping;
+pub mod sync_point;
+pub mod synchronizer;
+pub mod task_graph;
+
+pub use error::{MappingError, SyncError, TaskGraphError};
+pub use mapping::{MappingPlan, Mapper, PhasePlacement};
+pub use sync_point::{CoreId, CoreSet, SyncPointValue, MAX_CORES};
+pub use synchronizer::{SyncOutcome, SyncStats, Synchronizer};
+pub use task_graph::{Phase, PhaseId, PhaseRole, TaskGraph};

@@ -1,0 +1,402 @@
+//! Application mapping: the paper's three-step methodology.
+//!
+//! Starting from a partitioned application ([`crate::TaskGraph`]), the
+//! [`Mapper`] performs the resource assignment of §III-B step 3:
+//!
+//! 1. **Partitioning** is the task graph itself — one phase per core,
+//!    with phases that operate in parallel on different streams grouped
+//!    for lock-step execution.
+//! 2. **Insertion** sites are derived here: every consumer phase with at
+//!    least one producer gets a *consume point* (producers `SINC`/`SDEC`
+//!    it, the consumer `SNOP`s and sleeps on it), and every lock-step
+//!    group gets a *branch-recovery point* (`SINC` before a
+//!    data-dependent segment, `SDEC` + `SLEEP` after it).
+//! 3. **Mapping** assigns each phase a core and an instruction-memory
+//!    bank, with lock-step group members sharing one bank so that their
+//!    fetches broadcast, and collects the interrupt subscriptions of the
+//!    acquisition phases.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::MappingError;
+use crate::sync_point::CoreId;
+use crate::task_graph::{PhaseRole, TaskGraph};
+use crate::PhaseId;
+
+/// Placement decision for one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhasePlacement {
+    /// The placed phase.
+    pub phase: PhaseId,
+    /// Core executing the phase.
+    pub core: CoreId,
+    /// Instruction-memory bank holding the phase's code.
+    pub im_bank: usize,
+}
+
+/// The complete output of the mapping step, consumed by the code
+/// generators and the platform loader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingPlan {
+    placements: Vec<PhasePlacement>,
+    consume_points: BTreeMap<PhaseId, u16>,
+    lockstep_points: Vec<u16>,
+    lockstep_point_of_phase: BTreeMap<PhaseId, u16>,
+    subscriptions: BTreeMap<CoreId, u16>,
+    points_used: usize,
+}
+
+impl MappingPlan {
+    /// Placement of every phase, in phase order.
+    pub fn placements(&self) -> &[PhasePlacement] {
+        &self.placements
+    }
+
+    /// Core assigned to `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phase was not part of the mapped graph.
+    pub fn core_of(&self, phase: PhaseId) -> CoreId {
+        self.placements
+            .iter()
+            .find(|p| p.phase == phase)
+            .expect("phase belongs to the mapped graph")
+            .core
+    }
+
+    /// Instruction bank assigned to `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phase was not part of the mapped graph.
+    pub fn bank_of(&self, phase: PhaseId) -> usize {
+        self.placements
+            .iter()
+            .find(|p| p.phase == phase)
+            .expect("phase belongs to the mapped graph")
+            .im_bank
+    }
+
+    /// Synchronization point where `consumer`'s producers signal data
+    /// availability, if the phase has producers.
+    pub fn consume_point(&self, consumer: PhaseId) -> Option<u16> {
+        self.consume_points.get(&consumer).copied()
+    }
+
+    /// Branch-recovery synchronization point of the lock-step group that
+    /// `phase` belongs to, if any.
+    pub fn lockstep_point(&self, phase: PhaseId) -> Option<u16> {
+        self.lockstep_point_of_phase.get(&phase).copied()
+    }
+
+    /// One branch-recovery point per lock-step group, in group order.
+    pub fn lockstep_points(&self) -> &[u16] {
+        &self.lockstep_points
+    }
+
+    /// Interrupt-source subscription mask per core (acquisition phases).
+    pub fn subscriptions(&self) -> impl Iterator<Item = (CoreId, u16)> + '_ {
+        self.subscriptions.iter().map(|(&c, &m)| (c, m))
+    }
+
+    /// Total synchronization points allocated.
+    pub fn points_used(&self) -> usize {
+        self.points_used
+    }
+
+    /// Number of distinct instruction banks used — the multi-core
+    /// "Active IM banks" row of Table I.
+    pub fn banks_used(&self) -> usize {
+        let mut banks: Vec<usize> = self.placements.iter().map(|p| p.im_bank).collect();
+        banks.sort_unstable();
+        banks.dedup();
+        banks.len()
+    }
+
+    /// Number of cores used — the "Active Cores" row of Table I.
+    pub fn cores_used(&self) -> usize {
+        self.placements.len()
+    }
+}
+
+impl fmt::Display for MappingPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "mapping: {} cores, {} IM banks, {} sync points",
+            self.cores_used(),
+            self.banks_used(),
+            self.points_used()
+        )?;
+        for p in &self.placements {
+            write!(f, "  {} -> {} (IM bank {})", p.phase, p.core, p.im_bank)?;
+            if let Some(point) = self.consume_point(p.phase) {
+                write!(f, ", consumes via point {point}")?;
+            }
+            if let Some(point) = self.lockstep_point(p.phase) {
+                write!(f, ", lock-step point {point}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Maps task graphs onto a platform geometry.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_core::{Mapper, Phase, TaskGraph};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut g = TaskGraph::new();
+/// let f0 = g.add_phase(Phase::acquire("filter0", 0))?;
+/// let f1 = g.add_phase(Phase::acquire("filter1", 1))?;
+/// let agg = g.add_phase(Phase::compute("aggregate"))?;
+/// g.add_edge(f0, agg)?;
+/// g.add_edge(f1, agg)?;
+/// g.add_lockstep_group(&[f0, f1])?;
+///
+/// let plan = Mapper::new(8, 8, 16).map(&g)?;
+/// assert_eq!(plan.cores_used(), 3);
+/// assert_eq!(plan.bank_of(f0), plan.bank_of(f1)); // lock-step share a bank
+/// assert!(plan.consume_point(agg).is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Mapper {
+    cores: usize,
+    im_banks: usize,
+    sync_points: usize,
+}
+
+impl Mapper {
+    /// Creates a mapper for a platform with the given resources.
+    pub fn new(cores: usize, im_banks: usize, sync_points: usize) -> Mapper {
+        Mapper {
+            cores,
+            im_banks,
+            sync_points,
+        }
+    }
+
+    /// Produces a [`MappingPlan`] for `graph`.
+    ///
+    /// Cores are assigned in phase order; lock-step group members share
+    /// an instruction bank; every consumer phase with producers receives
+    /// a consume point and every lock-step group a branch-recovery
+    /// point.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MappingError`] when the graph is invalid or the
+    /// platform lacks cores, banks or synchronization points.
+    pub fn map(&self, graph: &TaskGraph) -> Result<MappingPlan, MappingError> {
+        graph.validate()?;
+
+        let needed_cores = graph.phase_count();
+        if needed_cores > self.cores {
+            return Err(MappingError::NotEnoughCores {
+                needed: needed_cores,
+                available: self.cores,
+            });
+        }
+
+        // Bank assignment: one bank per lock-step group, one per
+        // ungrouped phase.
+        let mut bank_of_phase: BTreeMap<PhaseId, usize> = BTreeMap::new();
+        let mut next_bank = 0usize;
+        for group in graph.lockstep_groups() {
+            for &member in group {
+                bank_of_phase.insert(member, next_bank);
+            }
+            next_bank += 1;
+        }
+        for (id, _) in graph.phases() {
+            bank_of_phase.entry(id).or_insert_with(|| {
+                let b = next_bank;
+                next_bank += 1;
+                b
+            });
+        }
+        if next_bank > self.im_banks {
+            return Err(MappingError::NotEnoughBanks {
+                needed: next_bank,
+                available: self.im_banks,
+            });
+        }
+
+        // Synchronization points: consume points first, then lock-step
+        // branch-recovery points.
+        let mut consume_points = BTreeMap::new();
+        let mut next_point = 0u16;
+        for (id, _) in graph.phases() {
+            if graph.producers_of(id).next().is_some() {
+                consume_points.insert(id, next_point);
+                next_point += 1;
+            }
+        }
+        let mut lockstep_points = Vec::new();
+        let mut lockstep_point_of_phase = BTreeMap::new();
+        for group in graph.lockstep_groups() {
+            lockstep_points.push(next_point);
+            for &member in group {
+                lockstep_point_of_phase.insert(member, next_point);
+            }
+            next_point += 1;
+        }
+        if next_point as usize > self.sync_points {
+            return Err(MappingError::NotEnoughSyncPoints {
+                needed: next_point as usize,
+                available: self.sync_points,
+            });
+        }
+
+        // Core assignment and interrupt subscriptions.
+        let mut placements = Vec::with_capacity(needed_cores);
+        let mut subscriptions: BTreeMap<CoreId, u16> = BTreeMap::new();
+        for (i, (id, phase)) in graph.phases().enumerate() {
+            let core = CoreId::new(i).expect("core count checked above");
+            placements.push(PhasePlacement {
+                phase: id,
+                core,
+                im_bank: bank_of_phase[&id],
+            });
+            if let PhaseRole::Acquire { channel } = phase.role {
+                *subscriptions.entry(core).or_insert(0) |= 1 << channel;
+            }
+        }
+
+        Ok(MappingPlan {
+            placements,
+            consume_points,
+            lockstep_points,
+            lockstep_point_of_phase,
+            subscriptions,
+            points_used: next_point as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task_graph::Phase;
+
+    fn fig4_graph() -> (TaskGraph, [PhaseId; 4]) {
+        let mut g = TaskGraph::new();
+        let c0 = g.add_phase(Phase::acquire("cond0", 0)).unwrap();
+        let c1 = g.add_phase(Phase::acquire("cond1", 1)).unwrap();
+        let c2 = g.add_phase(Phase::acquire("cond2", 2)).unwrap();
+        let p = g.add_phase(Phase::compute("process")).unwrap();
+        g.add_edge(c0, p).unwrap();
+        g.add_edge(c1, p).unwrap();
+        g.add_edge(c2, p).unwrap();
+        g.add_lockstep_group(&[c0, c1, c2]).unwrap();
+        (g, [c0, c1, c2, p])
+    }
+
+    #[test]
+    fn fig4_mapping_uses_four_cores_two_banks_two_points() {
+        let (g, [c0, c1, c2, p]) = fig4_graph();
+        let plan = Mapper::new(8, 8, 16).map(&g).unwrap();
+        assert_eq!(plan.cores_used(), 4);
+        // Conditioning phases share one bank; processing gets its own.
+        assert_eq!(plan.bank_of(c0), plan.bank_of(c1));
+        assert_eq!(plan.bank_of(c1), plan.bank_of(c2));
+        assert_ne!(plan.bank_of(c0), plan.bank_of(p));
+        assert_eq!(plan.banks_used(), 2);
+        // One consume point for the processing phase, one lock-step
+        // point for the conditioning group.
+        assert_eq!(plan.points_used(), 2);
+        let consume = plan.consume_point(p).unwrap();
+        let lock = plan.lockstep_point(c0).unwrap();
+        assert_ne!(consume, lock);
+        assert_eq!(plan.lockstep_point(c1), Some(lock));
+        assert_eq!(plan.consume_point(c0), None);
+        assert_eq!(plan.lockstep_point(p), None);
+    }
+
+    #[test]
+    fn distinct_cores_per_phase() {
+        let (g, phases) = fig4_graph();
+        let plan = Mapper::new(4, 8, 16).map(&g).unwrap();
+        let mut cores: Vec<usize> = phases.iter().map(|&p| plan.core_of(p).index()).collect();
+        cores.sort_unstable();
+        cores.dedup();
+        assert_eq!(cores.len(), 4);
+    }
+
+    #[test]
+    fn acquisition_phases_subscribe_to_their_channels() {
+        let (g, [c0, c1, c2, p]) = fig4_graph();
+        let plan = Mapper::new(8, 8, 16).map(&g).unwrap();
+        let subs: std::collections::BTreeMap<_, _> = plan.subscriptions().collect();
+        assert_eq!(subs[&plan.core_of(c0)], 1 << 0);
+        assert_eq!(subs[&plan.core_of(c1)], 1 << 1);
+        assert_eq!(subs[&plan.core_of(c2)], 1 << 2);
+        assert!(!subs.contains_key(&plan.core_of(p)));
+    }
+
+    #[test]
+    fn resource_exhaustion_is_reported() {
+        let (g, _) = fig4_graph();
+        assert!(matches!(
+            Mapper::new(3, 8, 16).map(&g),
+            Err(MappingError::NotEnoughCores { needed: 4, .. })
+        ));
+        assert!(matches!(
+            Mapper::new(8, 1, 16).map(&g),
+            Err(MappingError::NotEnoughBanks { needed: 2, .. })
+        ));
+        assert!(matches!(
+            Mapper::new(8, 8, 1).map(&g),
+            Err(MappingError::NotEnoughSyncPoints { needed: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_graph_is_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_phase(Phase::compute("a")).unwrap();
+        let b = g.add_phase(Phase::compute("b")).unwrap();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, a).unwrap();
+        assert!(matches!(
+            Mapper::new(8, 8, 16).map(&g),
+            Err(MappingError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn display_summarises_the_plan() {
+        let (g, [c0, _, _, p]) = fig4_graph();
+        let plan = Mapper::new(8, 8, 16).map(&g).unwrap();
+        let text = plan.to_string();
+        assert!(text.contains("4 cores"));
+        assert!(text.contains(&format!("{}", plan.core_of(c0))));
+        assert!(text.contains("consumes via point"));
+        assert!(text.contains("lock-step point"));
+        let _ = p;
+    }
+
+    #[test]
+    fn chain_allocates_point_per_consumer() {
+        let mut g = TaskGraph::new();
+        let a = g.add_phase(Phase::acquire("a", 0)).unwrap();
+        let b = g.add_phase(Phase::compute("b")).unwrap();
+        let c = g.add_phase(Phase::compute("c")).unwrap();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        let plan = Mapper::new(8, 8, 16).map(&g).unwrap();
+        assert_eq!(plan.points_used(), 2);
+        assert!(plan.consume_point(b).is_some());
+        assert!(plan.consume_point(c).is_some());
+        assert_ne!(plan.consume_point(b), plan.consume_point(c));
+        assert_eq!(plan.banks_used(), 3);
+    }
+}

@@ -1,0 +1,436 @@
+//! Synchronization-point words: per-core flags plus an up/down counter.
+//!
+//! A synchronization point is one 16-bit word in shared data memory
+//! (Fig. 3 of the paper). Its most-significant eight bits hold one
+//! identification flag per core and its least-significant eight bits an
+//! up/down counter:
+//!
+//! ```text
+//!  15            8 7             0
+//! +---------------+---------------+
+//! | core id flags |  u/d counter  |
+//! +---------------+---------------+
+//! ```
+//!
+//! `SNOP` sets the issuing core's flag, `SINC` sets the flag *and*
+//! increments the counter, `SDEC` decrements the counter without touching
+//! the flags.
+
+use std::fmt;
+
+use wbsn_isa::SyncKind;
+
+use crate::error::SyncError;
+
+/// Maximum number of cores addressable by the flag byte.
+pub const MAX_CORES: usize = 8;
+
+/// Identifier of one computing core, in `0..MAX_CORES`.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_core::CoreId;
+///
+/// let c = CoreId::new(3)?;
+/// assert_eq!(c.index(), 3);
+/// assert!(CoreId::new(8).is_err());
+/// # Ok::<(), wbsn_core::SyncError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(u8);
+
+impl CoreId {
+    /// Creates a core identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::CoreOutOfRange`] when `index >= MAX_CORES`.
+    pub fn new(index: usize) -> Result<CoreId, SyncError> {
+        if index >= MAX_CORES {
+            return Err(SyncError::CoreOutOfRange { index });
+        }
+        Ok(CoreId(index as u8))
+    }
+
+    /// The core's index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over the first `n` core identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_CORES`.
+    pub fn first(n: usize) -> impl Iterator<Item = CoreId> {
+        assert!(n <= MAX_CORES, "at most {MAX_CORES} cores");
+        (0..n).map(|i| CoreId(i as u8))
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// A set of cores, stored as the flag byte of a synchronization point.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_core::{CoreId, CoreSet};
+///
+/// let mut s = CoreSet::empty();
+/// s.insert(CoreId::new(0)?);
+/// s.insert(CoreId::new(2)?);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(CoreId::new(2)?));
+/// # Ok::<(), wbsn_core::SyncError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CoreSet(u8);
+
+impl CoreSet {
+    /// The empty set.
+    pub const fn empty() -> CoreSet {
+        CoreSet(0)
+    }
+
+    /// A set holding every core in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_CORES`.
+    pub fn first(n: usize) -> CoreSet {
+        assert!(n <= MAX_CORES, "at most {MAX_CORES} cores");
+        CoreSet(((1u16 << n) - 1) as u8)
+    }
+
+    /// Builds a set from its raw flag byte.
+    pub const fn from_bits(bits: u8) -> CoreSet {
+        CoreSet(bits)
+    }
+
+    /// The raw flag byte.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of cores in the set.
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `core` is a member.
+    pub fn contains(self, core: CoreId) -> bool {
+        self.0 & (1 << core.index()) != 0
+    }
+
+    /// Adds `core` to the set.
+    pub fn insert(&mut self, core: CoreId) {
+        self.0 |= 1 << core.index();
+    }
+
+    /// Removes `core` from the set.
+    pub fn remove(&mut self, core: CoreId) {
+        self.0 &= !(1 << core.index());
+    }
+
+    /// The union of two sets.
+    pub const fn union(self, other: CoreSet) -> CoreSet {
+        CoreSet(self.0 | other.0)
+    }
+
+    /// The intersection of two sets.
+    pub const fn intersection(self, other: CoreSet) -> CoreSet {
+        CoreSet(self.0 & other.0)
+    }
+
+    /// Iterates over the member cores in index order.
+    pub fn iter(self) -> impl Iterator<Item = CoreId> {
+        (0..MAX_CORES as u8)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(CoreId)
+    }
+}
+
+impl FromIterator<CoreId> for CoreSet {
+    fn from_iter<T: IntoIterator<Item = CoreId>>(iter: T) -> Self {
+        let mut s = CoreSet::empty();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl fmt::Display for CoreSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for c in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", c.index())?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// The value of one synchronization point: flags in the high byte, the
+/// up/down counter in the low byte.
+///
+/// Arithmetic is *checked*: counter overflow and underflow are protocol
+/// violations surfaced as [`SyncError`]s rather than silent wrap-around,
+/// because a malformed producer/consumer pairing is a software bug the
+/// tool-chain wants to catch in simulation.
+///
+/// # Example
+///
+/// Fig. 3-a of the paper — cores 0, 1, 2 produce for core 4:
+///
+/// ```
+/// use wbsn_core::{CoreId, SyncPointValue};
+/// use wbsn_isa::SyncKind;
+///
+/// let mut p = SyncPointValue::default();
+/// for i in 0..3 {
+///     p = p.apply(CoreId::new(i)?, SyncKind::Inc)?;
+/// }
+/// p = p.apply(CoreId::new(4)?, SyncKind::Nop)?;
+/// assert_eq!(p.counter(), 3);
+/// assert_eq!(p.flags().len(), 4);
+/// # Ok::<(), wbsn_core::SyncError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SyncPointValue {
+    flags: CoreSet,
+    counter: u8,
+}
+
+impl SyncPointValue {
+    /// A cleared point: no flags, counter zero.
+    pub const fn cleared() -> SyncPointValue {
+        SyncPointValue {
+            flags: CoreSet::empty(),
+            counter: 0,
+        }
+    }
+
+    /// Builds a point value from flags and counter.
+    pub const fn with(flags: CoreSet, counter: u8) -> SyncPointValue {
+        SyncPointValue { flags, counter }
+    }
+
+    /// Reconstructs a point from its 16-bit memory word.
+    pub const fn from_word(word: u16) -> SyncPointValue {
+        SyncPointValue {
+            flags: CoreSet::from_bits((word >> 8) as u8),
+            counter: (word & 0xFF) as u8,
+        }
+    }
+
+    /// The 16-bit word stored in shared data memory.
+    pub const fn to_word(self) -> u16 {
+        ((self.flags.bits() as u16) << 8) | self.counter as u16
+    }
+
+    /// The registered core flags.
+    pub const fn flags(self) -> CoreSet {
+        self.flags
+    }
+
+    /// The up/down counter.
+    pub const fn counter(self) -> u8 {
+        self.counter
+    }
+
+    /// Applies one synchronization instruction issued by `core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::CounterOverflow`] or
+    /// [`SyncError::CounterUnderflow`] when the counter leaves `0..=255`.
+    pub fn apply(self, core: CoreId, kind: SyncKind) -> Result<SyncPointValue, SyncError> {
+        let mut next = self;
+        match kind {
+            SyncKind::Inc => {
+                next.flags.insert(core);
+                next.counter = next
+                    .counter
+                    .checked_add(1)
+                    .ok_or(SyncError::CounterOverflow)?;
+            }
+            SyncKind::Dec => {
+                next.counter = next
+                    .counter
+                    .checked_sub(1)
+                    .ok_or(SyncError::CounterUnderflow)?;
+            }
+            SyncKind::Nop => {
+                next.flags.insert(core);
+            }
+        }
+        Ok(next)
+    }
+
+    /// Applies a whole cycle's worth of merged requests as one consistent
+    /// modification: all flag insertions are OR-ed and the net counter
+    /// delta (`#SINC - #SDEC`) is applied atomically, mirroring the
+    /// synchronizer's request merging.
+    ///
+    /// # Errors
+    ///
+    /// Returns a counter range error when the *net* result leaves
+    /// `0..=255`. Transient intra-cycle excursions are explicitly allowed
+    /// — three `SDEC`s and three `SINC`s in one cycle are fine on a zero
+    /// counter because the merged delta is zero.
+    pub fn apply_merged(
+        self,
+        flags_to_set: CoreSet,
+        delta: i32,
+    ) -> Result<SyncPointValue, SyncError> {
+        let counter = self.counter as i32 + delta;
+        if counter < 0 {
+            return Err(SyncError::CounterUnderflow);
+        }
+        if counter > u8::MAX as i32 {
+            return Err(SyncError::CounterOverflow);
+        }
+        Ok(SyncPointValue {
+            flags: self.flags.union(flags_to_set),
+            counter: counter as u8,
+        })
+    }
+
+    /// Whether the barrier condition holds: some cores are registered and
+    /// the counter has returned to zero.
+    pub const fn is_release_ready(self) -> bool {
+        self.counter == 0 && !self.flags.is_empty()
+    }
+}
+
+impl fmt::Display for SyncPointValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flags={} counter={}", self.flags, self.counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(i: usize) -> CoreId {
+        CoreId::new(i).expect("test core in range")
+    }
+
+    #[test]
+    fn fig3a_producer_consumer_value() {
+        // Cores 0,1,2 jointly produce for core 4; data not yet available.
+        let mut p = SyncPointValue::cleared();
+        for i in 0..3 {
+            p = p.apply(core(i), SyncKind::Inc).unwrap();
+        }
+        p = p.apply(core(4), SyncKind::Nop).unwrap();
+        assert_eq!(p.counter(), 3);
+        assert_eq!(p.flags().bits(), 0b0001_0111);
+        assert!(!p.is_release_ready());
+    }
+
+    #[test]
+    fn fig3b_branch_lockstep_value() {
+        // Cores 0,1,2 entered a data-dependent branch; core 0 finished.
+        let mut p = SyncPointValue::cleared();
+        for i in 0..3 {
+            p = p.apply(core(i), SyncKind::Inc).unwrap();
+        }
+        p = p.apply(core(0), SyncKind::Dec).unwrap();
+        assert_eq!(p.counter(), 2);
+        assert_eq!(p.flags().bits(), 0b0000_0111);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let p = SyncPointValue::with(CoreSet::from_bits(0b1010_0001), 42);
+        assert_eq!(SyncPointValue::from_word(p.to_word()), p);
+        assert_eq!(p.to_word(), 0xA12A);
+    }
+
+    #[test]
+    fn sdec_leaves_flags_untouched() {
+        let p = SyncPointValue::with(CoreSet::from_bits(0b11), 2);
+        let q = p.apply(core(5), SyncKind::Dec).unwrap();
+        assert_eq!(q.flags().bits(), 0b11);
+        assert_eq!(q.counter(), 1);
+    }
+
+    #[test]
+    fn counter_underflow_is_detected() {
+        let p = SyncPointValue::cleared();
+        assert_eq!(
+            p.apply(core(0), SyncKind::Dec),
+            Err(SyncError::CounterUnderflow)
+        );
+    }
+
+    #[test]
+    fn counter_overflow_is_detected() {
+        let p = SyncPointValue::with(CoreSet::empty(), 255);
+        assert_eq!(
+            p.apply(core(0), SyncKind::Inc),
+            Err(SyncError::CounterOverflow)
+        );
+    }
+
+    #[test]
+    fn merged_update_is_atomic() {
+        // Merged +3 / -3 on a zero counter is legal even though a serial
+        // SDEC-first ordering would underflow.
+        let p = SyncPointValue::cleared();
+        let q = p
+            .apply_merged(CoreSet::from_bits(0b111), 0)
+            .expect("net-zero delta is consistent");
+        assert_eq!(q.counter(), 0);
+        assert_eq!(q.flags().bits(), 0b111);
+        assert!(p.apply_merged(CoreSet::empty(), -1).is_err());
+        assert!(p.apply_merged(CoreSet::empty(), 256).is_err());
+    }
+
+    #[test]
+    fn release_ready_needs_flags_and_zero_counter() {
+        assert!(!SyncPointValue::cleared().is_release_ready());
+        assert!(!SyncPointValue::with(CoreSet::from_bits(1), 1).is_release_ready());
+        assert!(SyncPointValue::with(CoreSet::from_bits(1), 0).is_release_ready());
+    }
+
+    #[test]
+    fn core_set_operations() {
+        let a: CoreSet = [core(0), core(3)].into_iter().collect();
+        let b: CoreSet = [core(3), core(5)].into_iter().collect();
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b).len(), 1);
+        let mut c = a;
+        c.remove(core(0));
+        assert!(!c.contains(core(0)));
+        assert_eq!(CoreSet::first(3).bits(), 0b111);
+        assert_eq!(CoreSet::first(8).bits(), 0xFF);
+        assert_eq!(a.to_string(), "{0,3}");
+    }
+
+    #[test]
+    fn core_id_bounds() {
+        assert!(CoreId::new(7).is_ok());
+        assert!(CoreId::new(8).is_err());
+        assert_eq!(CoreId::first(3).count(), 3);
+    }
+}

@@ -1,0 +1,350 @@
+//! Application task graphs: phases connected by producer-consumer edges.
+//!
+//! Bio-signal applications "are divided in several consecutive phases"
+//! (paper §I): multiple inputs are conditioned in parallel, combined, and
+//! analysed. A [`TaskGraph`] captures this structure — one [`Phase`] per
+//! block of Fig. 5, producer-consumer edges between them, and *lock-step
+//! groups* of phases that execute the same code on different streams and
+//! can therefore share an instruction bank and benefit from broadcast.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::TaskGraphError;
+
+/// Index of a phase within its [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhaseId(pub usize);
+
+impl fmt::Display for PhaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "phase{}", self.0)
+    }
+}
+
+/// How a phase obtains its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseRole {
+    /// The phase samples a peripheral channel (e.g. one ADC lead) and is
+    /// woken by its data-ready interrupt.
+    Acquire {
+        /// Peripheral interrupt source / channel index.
+        channel: usize,
+    },
+    /// The phase consumes data produced by other phases.
+    Compute,
+}
+
+/// One application phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Human-readable phase name (unique within the graph).
+    pub name: String,
+    /// Input source of the phase.
+    pub role: PhaseRole,
+}
+
+impl Phase {
+    /// Creates an acquisition phase fed by `channel`.
+    pub fn acquire(name: impl Into<String>, channel: usize) -> Phase {
+        Phase {
+            name: name.into(),
+            role: PhaseRole::Acquire { channel },
+        }
+    }
+
+    /// Creates a compute phase fed by producer-consumer edges.
+    pub fn compute(name: impl Into<String>) -> Phase {
+        Phase {
+            name: name.into(),
+            role: PhaseRole::Compute,
+        }
+    }
+}
+
+/// A validated application structure: phases, producer-consumer edges and
+/// lock-step groups.
+///
+/// # Example
+///
+/// The application of Fig. 1/Fig. 4 — three conditioning phases feeding
+/// one processing phase:
+///
+/// ```
+/// use wbsn_core::{Phase, PhaseId, TaskGraph};
+///
+/// # fn main() -> Result<(), wbsn_core::TaskGraphError> {
+/// let mut g = TaskGraph::new();
+/// let c0 = g.add_phase(Phase::acquire("cond0", 0))?;
+/// let c1 = g.add_phase(Phase::acquire("cond1", 1))?;
+/// let c2 = g.add_phase(Phase::acquire("cond2", 2))?;
+/// let p = g.add_phase(Phase::compute("process"))?;
+/// g.add_edge(c0, p)?;
+/// g.add_edge(c1, p)?;
+/// g.add_edge(c2, p)?;
+/// g.add_lockstep_group(&[c0, c1, c2])?;
+/// g.validate()?;
+/// assert_eq!(g.producers_of(p).count(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    phases: Vec<Phase>,
+    edges: Vec<(PhaseId, PhaseId)>,
+    lockstep_groups: Vec<Vec<PhaseId>>,
+}
+
+impl TaskGraph {
+    /// Creates an empty graph.
+    pub fn new() -> TaskGraph {
+        TaskGraph::default()
+    }
+
+    /// Adds a phase and returns its identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskGraphError::DuplicatePhase`] when the name is taken.
+    pub fn add_phase(&mut self, phase: Phase) -> Result<PhaseId, TaskGraphError> {
+        if self.phases.iter().any(|p| p.name == phase.name) {
+            return Err(TaskGraphError::DuplicatePhase(phase.name));
+        }
+        self.phases.push(phase);
+        Ok(PhaseId(self.phases.len() - 1))
+    }
+
+    /// Adds a producer-consumer edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown phases or self edges.
+    pub fn add_edge(&mut self, from: PhaseId, to: PhaseId) -> Result<(), TaskGraphError> {
+        self.check(from)?;
+        self.check(to)?;
+        if from == to {
+            return Err(TaskGraphError::SelfEdge { index: from.0 });
+        }
+        self.edges.push((from, to));
+        Ok(())
+    }
+
+    /// Declares that the given phases execute the same code on different
+    /// streams and should run in lock-step (sharing one instruction bank
+    /// and one branch-recovery synchronization point).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown phases.
+    pub fn add_lockstep_group(&mut self, members: &[PhaseId]) -> Result<(), TaskGraphError> {
+        for &m in members {
+            self.check(m)?;
+        }
+        self.lockstep_groups.push(members.to_vec());
+        Ok(())
+    }
+
+    /// Number of phases.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// The phase with identifier `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this graph.
+    pub fn phase(&self, id: PhaseId) -> &Phase {
+        &self.phases[id.0]
+    }
+
+    /// Iterates over all phases.
+    pub fn phases(&self) -> impl Iterator<Item = (PhaseId, &Phase)> {
+        self.phases.iter().enumerate().map(|(i, p)| (PhaseId(i), p))
+    }
+
+    /// All producer-consumer edges.
+    pub fn edges(&self) -> &[(PhaseId, PhaseId)] {
+        &self.edges
+    }
+
+    /// The lock-step groups.
+    pub fn lockstep_groups(&self) -> &[Vec<PhaseId>] {
+        &self.lockstep_groups
+    }
+
+    /// Phases producing data for `consumer`.
+    pub fn producers_of(&self, consumer: PhaseId) -> impl Iterator<Item = PhaseId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(_, to)| *to == consumer)
+            .map(|(from, _)| *from)
+    }
+
+    /// Phases consuming data from `producer`.
+    pub fn consumers_of(&self, producer: PhaseId) -> impl Iterator<Item = PhaseId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |(from, _)| *from == producer)
+            .map(|(_, to)| *to)
+    }
+
+    /// Checks structural invariants: all edges reference existing phases
+    /// and the producer-consumer relation is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated [`TaskGraphError`].
+    pub fn validate(&self) -> Result<(), TaskGraphError> {
+        // Kahn's algorithm for cycle detection.
+        let n = self.phases.len();
+        let mut indegree = vec![0usize; n];
+        for &(_, to) in &self.edges {
+            indegree[to.0] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(i) = queue.pop() {
+            seen += 1;
+            for c in self.consumers_of(PhaseId(i)).collect::<BTreeSet<_>>() {
+                indegree[c.0] -= 1;
+                if indegree[c.0] == 0 {
+                    queue.push(c.0);
+                }
+            }
+        }
+        if seen != n {
+            return Err(TaskGraphError::Cyclic);
+        }
+        Ok(())
+    }
+
+    /// Renders the graph in Graphviz DOT format: phases as nodes
+    /// (acquisition phases annotated with their channel), producer-
+    /// consumer edges as arrows, lock-step groups as dashed clusters.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph application {\n  rankdir=LR;\n");
+        for (group_idx, group) in self.lockstep_groups.iter().enumerate() {
+            let _ = writeln!(out, "  subgraph cluster_{group_idx} {{");
+            let _ = writeln!(out, "    style=dashed; label=\"lock-step {group_idx}\";");
+            for member in group {
+                let _ = writeln!(out, "    p{};", member.0);
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for (id, phase) in self.phases() {
+            let label = match phase.role {
+                PhaseRole::Acquire { channel } => {
+                    format!("{} (ch{channel})", phase.name)
+                }
+                PhaseRole::Compute => phase.name.clone(),
+            };
+            let _ = writeln!(out, "  p{} [label=\"{label}\"];", id.0);
+        }
+        for (from, to) in &self.edges {
+            let _ = writeln!(out, "  p{} -> p{};", from.0, to.0);
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    fn check(&self, id: PhaseId) -> Result<(), TaskGraphError> {
+        if id.0 >= self.phases.len() {
+            return Err(TaskGraphError::UnknownPhase { index: id.0 });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_fig4_application() {
+        let mut g = TaskGraph::new();
+        let a = g.add_phase(Phase::acquire("a", 0)).unwrap();
+        let b = g.add_phase(Phase::acquire("b", 1)).unwrap();
+        let p = g.add_phase(Phase::compute("p")).unwrap();
+        g.add_edge(a, p).unwrap();
+        g.add_edge(b, p).unwrap();
+        g.add_lockstep_group(&[a, b]).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.producers_of(p).count(), 2);
+        assert_eq!(g.consumers_of(a).collect::<Vec<_>>(), vec![p]);
+        assert_eq!(g.phase(a).role, PhaseRole::Acquire { channel: 0 });
+    }
+
+    #[test]
+    fn duplicate_phase_names_rejected() {
+        let mut g = TaskGraph::new();
+        g.add_phase(Phase::compute("x")).unwrap();
+        assert!(matches!(
+            g.add_phase(Phase::compute("x")),
+            Err(TaskGraphError::DuplicatePhase(_))
+        ));
+    }
+
+    #[test]
+    fn self_edges_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_phase(Phase::compute("a")).unwrap();
+        assert!(matches!(
+            g.add_edge(a, a),
+            Err(TaskGraphError::SelfEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_phase_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_phase(Phase::compute("a")).unwrap();
+        assert!(g.add_edge(a, PhaseId(5)).is_err());
+        assert!(g.add_lockstep_group(&[PhaseId(9)]).is_err());
+    }
+
+    #[test]
+    fn cycles_detected() {
+        let mut g = TaskGraph::new();
+        let a = g.add_phase(Phase::compute("a")).unwrap();
+        let b = g.add_phase(Phase::compute("b")).unwrap();
+        let c = g.add_phase(Phase::compute("c")).unwrap();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, a).unwrap();
+        assert_eq!(g.validate(), Err(TaskGraphError::Cyclic));
+    }
+
+    #[test]
+    fn dot_export_contains_nodes_edges_and_clusters() {
+        let mut g = TaskGraph::new();
+        let a = g.add_phase(Phase::acquire("cond0", 0)).unwrap();
+        let b = g.add_phase(Phase::acquire("cond1", 1)).unwrap();
+        let p = g.add_phase(Phase::compute("process")).unwrap();
+        g.add_edge(a, p).unwrap();
+        g.add_edge(b, p).unwrap();
+        g.add_lockstep_group(&[a, b]).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("cond0 (ch0)"));
+        assert!(dot.contains("p0 -> p2;"));
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("lock-step 0"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn acyclic_diamond_validates() {
+        let mut g = TaskGraph::new();
+        let a = g.add_phase(Phase::compute("a")).unwrap();
+        let b = g.add_phase(Phase::compute("b")).unwrap();
+        let c = g.add_phase(Phase::compute("c")).unwrap();
+        let d = g.add_phase(Phase::compute("d")).unwrap();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(c, d).unwrap();
+        assert!(g.validate().is_ok());
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests on the synchronizer unit: arbitrary event sequences
+//! never corrupt its state machine.
+
+use proptest::prelude::*;
+use wbsn_core::{CoreId, CoreSet, Synchronizer};
+use wbsn_isa::SyncKind;
+
+#[derive(Debug, Clone)]
+enum Event {
+    Op(usize, SyncKind, u16),
+    Sleep(usize),
+    Irq(usize),
+    Subscribe(usize, u16),
+    Commit,
+}
+
+fn any_event(cores: usize, points: u16) -> impl Strategy<Value = Event> {
+    let kind = prop_oneof![
+        Just(SyncKind::Inc),
+        Just(SyncKind::Dec),
+        Just(SyncKind::Nop)
+    ];
+    prop_oneof![
+        (0..cores, kind, 0..points).prop_map(|(c, k, p)| Event::Op(c, k, p)),
+        (0..cores).prop_map(Event::Sleep),
+        (0usize..4).prop_map(Event::Irq),
+        (0..cores, 0u16..16).prop_map(|(c, m)| Event::Subscribe(c, m)),
+        Just(Event::Commit),
+    ]
+}
+
+proptest! {
+    /// Under arbitrary event streams the synchronizer never panics, the
+    /// gated set only changes through explicit sleeps and wakes, and
+    /// every accounting identity holds.
+    #[test]
+    fn synchronizer_state_machine_is_consistent(
+        events in prop::collection::vec(any_event(4, 4), 0..200),
+    ) {
+        let mut sync = Synchronizer::new(4, 4).expect("valid configuration");
+        let mut expected_gated = CoreSet::empty();
+        for event in events {
+            match event {
+                Event::Op(core, kind, point) => {
+                    let core = CoreId::new(core).expect("in range");
+                    // A gated core cannot issue instructions; the
+                    // platform guarantees it, so the model does too.
+                    if !sync.is_gated(core) {
+                        sync.submit_op(core, kind, point).expect("staged");
+                    }
+                }
+                Event::Sleep(core) => {
+                    let core = CoreId::new(core).expect("in range");
+                    if !sync.is_gated(core) {
+                        sync.request_sleep(core);
+                    }
+                }
+                Event::Irq(source) => sync.raise_irq(source),
+                Event::Subscribe(core, mask) => {
+                    let core = CoreId::new(core).expect("in range");
+                    sync.subscribe(core, mask).expect("in range");
+                    prop_assert_eq!(sync.subscription(core), mask);
+                }
+                Event::Commit => {
+                    match sync.commit() {
+                        Ok(outcome) => {
+                            // Woken cores were gated; slept cores were not.
+                            prop_assert!(outcome
+                                .woken
+                                .iter()
+                                .all(|c| expected_gated.contains(c)));
+                            prop_assert!(outcome
+                                .slept
+                                .iter()
+                                .all(|c| !expected_gated.contains(c)));
+                            prop_assert!(outcome
+                                .fell_through
+                                .iter()
+                                .all(|c| !expected_gated.contains(c)));
+                            for c in outcome.woken.iter() {
+                                expected_gated.remove(c);
+                            }
+                            for c in outcome.slept.iter() {
+                                expected_gated.insert(c);
+                            }
+                            prop_assert_eq!(sync.gated(), expected_gated);
+                        }
+                        Err(_) => {
+                            // A protocol violation (counter underflow or
+                            // overflow) is a detected error, not a panic;
+                            // stop driving this sequence.
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+        // Accounting identities over the whole run.
+        let stats = sync.stats();
+        prop_assert!(stats.writes <= stats.ops);
+        prop_assert_eq!(stats.merged, stats.ops - stats.writes);
+        // Every point is observable and in range.
+        for point in 0..4 {
+            let value = sync.point_value(point).expect("in range");
+            prop_assert!(value.flags().len() <= 4);
+        }
+    }
+
+    /// A complete producer/consumer epoch always releases the consumer,
+    /// regardless of interleaving.
+    #[test]
+    fn producer_consumer_always_releases(
+        producers in 1usize..4,
+        snop_first in any::<bool>(),
+        commit_between in any::<bool>(),
+    ) {
+        let consumer = CoreId::new(3).expect("in range");
+        let mut sync = Synchronizer::new(4, 1).expect("valid");
+        let register = |sync: &mut Synchronizer| {
+            sync.submit_op(consumer, SyncKind::Nop, 0).expect("staged");
+        };
+        if snop_first {
+            register(&mut sync);
+            sync.commit().expect("consistent");
+            sync.request_sleep(consumer);
+            sync.commit().expect("consistent");
+        }
+        for p in 0..producers {
+            let core = CoreId::new(p).expect("in range");
+            sync.submit_op(core, SyncKind::Inc, 0).expect("staged");
+            if commit_between {
+                sync.commit().expect("consistent");
+            }
+        }
+        if !snop_first {
+            register(&mut sync);
+        }
+        sync.commit().expect("consistent");
+        if !snop_first {
+            sync.request_sleep(consumer);
+            sync.commit().expect("consistent");
+        }
+        let mut released = false;
+        for p in 0..producers {
+            let core = CoreId::new(p).expect("in range");
+            sync.submit_op(core, SyncKind::Dec, 0).expect("staged");
+            let outcome = sync.commit().expect("consistent");
+            released |= outcome.woken.contains(consumer);
+        }
+        prop_assert!(released, "the consumer must be woken by the last SDEC");
+        prop_assert!(!sync.is_gated(consumer));
+    }
+}

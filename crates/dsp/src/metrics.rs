@@ -1,0 +1,204 @@
+//! Application-level quality metrics: heart-rate estimation from
+//! fiducial points and delineation accuracy against ground truth.
+//!
+//! The platform's purpose is diagnostics, so the reproduction reports not
+//! only power but also whether the ported applications still *work*:
+//! detection sensitivity/precision versus the synthetic generator's
+//! ground truth, and the heart rate recovered from the detected beats.
+
+use crate::ecg::BeatInfo;
+
+/// Detection-accuracy counts of a fiducial/beat detector against ground
+/// truth annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DetectionAccuracy {
+    /// Detections matched to an annotated beat.
+    pub true_positives: usize,
+    /// Detections with no annotated beat nearby.
+    pub false_positives: usize,
+    /// Annotated beats with no detection nearby.
+    pub false_negatives: usize,
+}
+
+impl DetectionAccuracy {
+    /// Sensitivity (recall): `TP / (TP + FN)`.
+    pub fn sensitivity(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+
+    /// Positive predictive value (precision): `TP / (TP + FP)`.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / denom as f64
+    }
+}
+
+/// Matches detections against annotated beats with a tolerance window
+/// (in samples). Detections and annotations are matched greedily in time
+/// order; each annotation accepts at most one detection.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_dsp::ecg::{BeatClass, BeatInfo};
+/// use wbsn_dsp::metrics::match_detections;
+///
+/// let truth = [
+///     BeatInfo { peak: 100, class: BeatClass::Normal },
+///     BeatInfo { peak: 300, class: BeatClass::Normal },
+/// ];
+/// let acc = match_detections(&[103, 471], &truth, 20);
+/// assert_eq!(acc.true_positives, 1);
+/// assert_eq!(acc.false_positives, 1);
+/// assert_eq!(acc.false_negatives, 1);
+/// ```
+pub fn match_detections(
+    detections: &[usize],
+    truth: &[BeatInfo],
+    tolerance: usize,
+) -> DetectionAccuracy {
+    let mut acc = DetectionAccuracy::default();
+    let mut truth_used = vec![false; truth.len()];
+    for &d in detections {
+        let best = truth
+            .iter()
+            .enumerate()
+            .filter(|(i, b)| !truth_used[*i] && b.peak.abs_diff(d) <= tolerance)
+            .min_by_key(|(_, b)| b.peak.abs_diff(d));
+        match best {
+            Some((i, _)) => {
+                truth_used[i] = true;
+                acc.true_positives += 1;
+            }
+            None => acc.false_positives += 1,
+        }
+    }
+    acc.false_negatives = truth_used.iter().filter(|&&u| !u).count();
+    acc
+}
+
+/// Mean heart rate in beats per minute from detection times.
+///
+/// Returns `None` with fewer than two detections.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_dsp::metrics::heart_rate_bpm;
+///
+/// // Beats every 500 samples at 500 Hz: 60 bpm.
+/// let hr = heart_rate_bpm(&[0, 500, 1000, 1500], 500).unwrap();
+/// assert!((hr - 60.0).abs() < 1e-9);
+/// ```
+pub fn heart_rate_bpm(detections: &[usize], fs: u32) -> Option<f64> {
+    if detections.len() < 2 {
+        return None;
+    }
+    let span = (detections[detections.len() - 1] - detections[0]) as f64;
+    let intervals = (detections.len() - 1) as f64;
+    let mean_rr_s = span / intervals / fs as f64;
+    Some(60.0 / mean_rr_s)
+}
+
+/// RR-interval variability: the standard deviation of successive
+/// intervals in milliseconds (a crude SDNN).
+///
+/// Returns `None` with fewer than three detections.
+pub fn rr_std_ms(detections: &[usize], fs: u32) -> Option<f64> {
+    if detections.len() < 3 {
+        return None;
+    }
+    let rr: Vec<f64> = detections
+        .windows(2)
+        .map(|w| (w[1] - w[0]) as f64 / fs as f64 * 1000.0)
+        .collect();
+    let mean = rr.iter().sum::<f64>() / rr.len() as f64;
+    let var = rr.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / rr.len() as f64;
+    Some(var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecg::{synthesize, BeatClass, EcgConfig};
+    use crate::mmd::MmdDelineator;
+    use crate::morphology::MorphFilter;
+
+    #[test]
+    fn perfect_detections_score_perfectly() {
+        let truth = [
+            BeatInfo {
+                peak: 100,
+                class: BeatClass::Normal,
+            },
+            BeatInfo {
+                peak: 280,
+                class: BeatClass::Pathological,
+            },
+        ];
+        let acc = match_detections(&[99, 281], &truth, 10);
+        assert_eq!(acc.true_positives, 2);
+        assert_eq!(acc.false_positives, 0);
+        assert_eq!(acc.false_negatives, 0);
+        assert_eq!(acc.sensitivity(), 1.0);
+        assert_eq!(acc.precision(), 1.0);
+    }
+
+    #[test]
+    fn each_annotation_matches_at_most_once() {
+        let truth = [BeatInfo {
+            peak: 100,
+            class: BeatClass::Normal,
+        }];
+        let acc = match_detections(&[98, 102], &truth, 10);
+        assert_eq!(acc.true_positives, 1);
+        assert_eq!(acc.false_positives, 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_graceful() {
+        let acc = match_detections(&[], &[], 10);
+        assert_eq!(acc.sensitivity(), 0.0);
+        assert_eq!(acc.precision(), 0.0);
+        assert_eq!(heart_rate_bpm(&[5], 250), None);
+        assert_eq!(rr_std_ms(&[5, 10], 250), None);
+    }
+
+    #[test]
+    fn pipeline_detection_quality_on_synthetic_ecg() {
+        // The full conditioned detection pipeline should find essentially
+        // every beat of a clean synthetic recording.
+        let rec = synthesize(&EcgConfig {
+            fs: 500,
+            duration_s: 30.0,
+            ..EcgConfig::healthy_60s()
+        });
+        let cond: Vec<i16> = MorphFilter::new(30, 50, 5).filter(&rec.leads[0]);
+        let detections: Vec<usize> = MmdDelineator::new(10, 30, 700, 50)
+            .delineate(&cond)
+            .into_iter()
+            .map(|p| p.sample)
+            .collect();
+        let acc = match_detections(&detections, &rec.beats, 40);
+        assert!(
+            acc.sensitivity() > 0.95,
+            "sensitivity {:.2} (TP {} FN {})",
+            acc.sensitivity(),
+            acc.true_positives,
+            acc.false_negatives
+        );
+        assert!(acc.precision() > 0.95, "precision {:.2}", acc.precision());
+
+        let hr = heart_rate_bpm(&detections, rec.fs).expect("enough beats");
+        assert!((60.0..90.0).contains(&hr), "heart rate {hr:.1} bpm");
+        let sdnn = rr_std_ms(&detections, rec.fs).expect("enough beats");
+        assert!(sdnn < 80.0, "variability {sdnn:.1} ms");
+    }
+}

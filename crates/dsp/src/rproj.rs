@@ -1,0 +1,324 @@
+//! Random-projection heartbeat classification — RP-CLASS (paper ref
+//! \[22\], Braojos et al., "A Methodology for Embedded Classification of
+//! Heartbeats Using Random Projections").
+//!
+//! Each detected beat's sample window is projected onto a small number of
+//! random ±1 (Rademacher) directions — multiplier-free on the 16-bit
+//! datapath: the projection is a signed sum of pre-shifted samples. The
+//! projected point is then labelled by L1 nearest-centroid against a
+//! *normal* and a *pathological* centroid learned from labelled beats.
+//!
+//! All arithmetic is wrapping 16-bit with explicit pre-shifts, matching
+//! the generated ISA kernel bit-for-bit.
+
+use crate::exec_abs;
+
+/// Signed ±1 random projection matrix (`k` outputs × `w` inputs).
+///
+/// # Example
+///
+/// ```
+/// use wbsn_dsp::rproj::RandomProjection;
+///
+/// let rp = RandomProjection::new_seeded(8, 32, 7);
+/// let window = [100i16; 32];
+/// let p = rp.project(&window);
+/// assert_eq!(p.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomProjection {
+    /// `signs[k][i]` is true for `+1`, false for `−1`.
+    signs: Vec<Vec<bool>>,
+    /// Right pre-shift applied to each input sample before accumulation
+    /// (keeps the sum inside `i16` for windows up to 2^shift· headroom).
+    pre_shift: u32,
+}
+
+impl RandomProjection {
+    /// Builds a deterministic projection from a seed using a small
+    /// xorshift generator (self-contained so the generated ISA data
+    /// tables and this model always agree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `w` is zero.
+    pub fn new_seeded(k: usize, w: usize, seed: u64) -> RandomProjection {
+        assert!(k > 0 && w > 0, "projection dimensions must be non-zero");
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let signs = (0..k)
+            .map(|_| (0..w).map(|_| next() & 1 == 1).collect())
+            .collect();
+        RandomProjection {
+            signs,
+            pre_shift: 3,
+        }
+    }
+
+    /// Number of projection directions.
+    pub fn dims(&self) -> usize {
+        self.signs.len()
+    }
+
+    /// Window length.
+    pub fn window(&self) -> usize {
+        self.signs[0].len()
+    }
+
+    /// The pre-shift applied to inputs.
+    pub fn pre_shift(&self) -> u32 {
+        self.pre_shift
+    }
+
+    /// The sign of entry `(k, i)`: `+1 ⇒ true`.
+    pub fn sign(&self, k: usize, i: usize) -> bool {
+        self.signs[k][i]
+    }
+
+    /// Projects a beat window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is shorter than the projection's input size.
+    pub fn project(&self, window: &[i16]) -> Vec<i16> {
+        assert!(window.len() >= self.window(), "window too short");
+        self.signs
+            .iter()
+            .map(|row| {
+                let mut acc: i16 = 0;
+                for (i, &plus) in row.iter().enumerate() {
+                    let v = (window[i] as i32 >> self.pre_shift) as i16;
+                    acc = if plus {
+                        acc.wrapping_add(v)
+                    } else {
+                        acc.wrapping_sub(v)
+                    };
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+/// Beat label produced by the classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BeatLabel {
+    /// A normal sinus beat.
+    Normal,
+    /// An abnormal (e.g. ventricular) beat — triggers the delineation
+    /// chain in RP-CLASS.
+    Pathological,
+}
+
+/// L1 nearest-centroid decision over projected beats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NearestCentroid {
+    normal: Vec<i16>,
+    pathological: Vec<i16>,
+}
+
+impl NearestCentroid {
+    /// Creates a classifier from two centroids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the centroids have different lengths or are empty.
+    pub fn new(normal: Vec<i16>, pathological: Vec<i16>) -> NearestCentroid {
+        assert_eq!(normal.len(), pathological.len(), "centroid size mismatch");
+        assert!(!normal.is_empty(), "centroids must be non-empty");
+        NearestCentroid {
+            normal,
+            pathological,
+        }
+    }
+
+    /// Learns centroids as per-dimension means of labelled projections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class has no examples.
+    pub fn train(normal: &[Vec<i16>], pathological: &[Vec<i16>]) -> NearestCentroid {
+        assert!(
+            !normal.is_empty() && !pathological.is_empty(),
+            "both classes need training examples"
+        );
+        let mean = |rows: &[Vec<i16>]| -> Vec<i16> {
+            let dims = rows[0].len();
+            (0..dims)
+                .map(|d| {
+                    let sum: i64 = rows.iter().map(|r| r[d] as i64).sum();
+                    (sum / rows.len() as i64) as i16
+                })
+                .collect()
+        };
+        NearestCentroid::new(mean(normal), mean(pathological))
+    }
+
+    /// The learned centroids `(normal, pathological)`.
+    pub fn centroids(&self) -> (&[i16], &[i16]) {
+        (&self.normal, &self.pathological)
+    }
+
+    /// L1 distance between a projection and a centroid: wrapping 16-bit
+    /// difference followed by a saturating absolute value — exactly the
+    /// ISA `SUB` + `ABS` sequence the kernel executes.
+    pub fn l1_distance(p: &[i16], c: &[i16]) -> u32 {
+        p.iter()
+            .zip(c)
+            .map(|(&a, &b)| exec_abs(a.wrapping_sub(b)) as u32)
+            .sum()
+    }
+
+    /// L1 distance accumulated on the 16-bit datapath: per-dimension
+    /// `SUB` + `ABS` terms summed with wrapping 16-bit `ADD`s — the
+    /// value the generated kernel actually holds in its accumulator
+    /// register.
+    pub fn l1_distance16(p: &[i16], c: &[i16]) -> i16 {
+        p.iter()
+            .zip(c)
+            .fold(0i16, |acc, (&a, &b)| {
+                acc.wrapping_add(exec_abs(a.wrapping_sub(b)))
+            })
+    }
+
+    /// Labels a projected beat.
+    ///
+    /// The comparison replicates the kernel bit-for-bit: both distances
+    /// are accumulated on the wrapping 16-bit datapath and compared as
+    /// signed values.
+    pub fn classify(&self, projection: &[i16]) -> BeatLabel {
+        let dn = Self::l1_distance16(projection, &self.normal);
+        let dp = Self::l1_distance16(projection, &self.pathological);
+        if dp < dn {
+            BeatLabel::Pathological
+        } else {
+            BeatLabel::Normal
+        }
+    }
+}
+
+/// The complete RP-CLASS front end: projection plus decision.
+#[derive(Debug, Clone)]
+pub struct RpClassifier {
+    projection: RandomProjection,
+    decision: NearestCentroid,
+}
+
+impl RpClassifier {
+    /// Assembles a classifier.
+    pub fn new(projection: RandomProjection, decision: NearestCentroid) -> RpClassifier {
+        RpClassifier {
+            projection,
+            decision,
+        }
+    }
+
+    /// The projection stage.
+    pub fn projection(&self) -> &RandomProjection {
+        &self.projection
+    }
+
+    /// The decision stage.
+    pub fn decision(&self) -> &NearestCentroid {
+        &self.decision
+    }
+
+    /// Projects and labels one beat window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is shorter than the projection input.
+    pub fn classify_window(&self, window: &[i16]) -> BeatLabel {
+        self.decision.classify(&self.projection.project(window))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_is_deterministic_per_seed() {
+        let a = RandomProjection::new_seeded(4, 16, 42);
+        let b = RandomProjection::new_seeded(4, 16, 42);
+        let c = RandomProjection::new_seeded(4, 16, 43);
+        let w: Vec<i16> = (0..16).map(|i| (i * 37 - 200) as i16).collect();
+        assert_eq!(a.project(&w), b.project(&w));
+        assert_ne!(a.project(&w), c.project(&w));
+    }
+
+    #[test]
+    fn projection_is_linear_in_shifted_inputs() {
+        let rp = RandomProjection::new_seeded(3, 8, 5);
+        let zero = vec![0i16; 8];
+        assert_eq!(rp.project(&zero), vec![0, 0, 0]);
+        // Scaling inputs by 8 (the pre-shift) scales outputs by 1 unit
+        // per sample contribution.
+        let ones = vec![8i16; 8];
+        let p = rp.project(&ones);
+        for (k, v) in p.iter().enumerate() {
+            let plus = (0..8).filter(|&i| rp.sign(k, i)).count() as i16;
+            let minus = 8 - plus;
+            assert_eq!(*v, plus - minus);
+        }
+    }
+
+    #[test]
+    fn l1_distance_matches_isa_sub_abs_semantics() {
+        // MIN - MAX wraps to 1, like the hardware SUB; ABS then yields 1.
+        assert_eq!(NearestCentroid::l1_distance(&[i16::MIN], &[i16::MAX]), 1);
+        // A wrapping difference of exactly i16::MIN saturates through ABS.
+        assert_eq!(
+            NearestCentroid::l1_distance(&[i16::MIN], &[0]),
+            i16::MAX as u32
+        );
+        assert_eq!(NearestCentroid::l1_distance(&[5, -5], &[2, 2]), 10);
+    }
+
+    #[test]
+    fn classify_prefers_nearer_centroid() {
+        let nc = NearestCentroid::new(vec![0, 0], vec![100, 100]);
+        assert_eq!(nc.classify(&[10, -10]), BeatLabel::Normal);
+        assert_eq!(nc.classify(&[90, 110]), BeatLabel::Pathological);
+        // Ties go to Normal (the safe default: no delineation chain).
+        assert_eq!(nc.classify(&[50, 50]), BeatLabel::Normal);
+    }
+
+    #[test]
+    fn train_then_classify_separates_synthetic_clusters() {
+        let rp = RandomProjection::new_seeded(8, 32, 9);
+        let normal_beat: Vec<i16> = (0..32).map(|i| if i == 16 { 2000 } else { 0 }).collect();
+        let path_beat: Vec<i16> = (0..32)
+            .map(|i| if (12..22).contains(&i) { 900 } else { 0 })
+            .collect();
+        let normals: Vec<Vec<i16>> = (0..10)
+            .map(|j| {
+                let mut b = normal_beat.clone();
+                b[8] += (j * 10) as i16; // mild variation
+                rp.project(&b)
+            })
+            .collect();
+        let paths: Vec<Vec<i16>> = (0..10)
+            .map(|j| {
+                let mut b = path_beat.clone();
+                b[8] += (j * 10) as i16;
+                rp.project(&b)
+            })
+            .collect();
+        let nc = NearestCentroid::train(&normals, &paths);
+        let clf = RpClassifier::new(rp, nc);
+        assert_eq!(clf.classify_window(&normal_beat), BeatLabel::Normal);
+        assert_eq!(clf.classify_window(&path_beat), BeatLabel::Pathological);
+    }
+
+    #[test]
+    #[should_panic(expected = "centroid size mismatch")]
+    fn mismatched_centroids_panic() {
+        let _ = NearestCentroid::new(vec![0], vec![0, 1]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests on the DSP substrate: morphological-operator laws,
+//! filter boundedness and delineator quiescence.
+
+use proptest::prelude::*;
+use wbsn_dsp::mmd::MmdDelineator;
+use wbsn_dsp::morphology::{Dilation, Erosion, MorphFilter};
+use wbsn_dsp::rproj::{NearestCentroid, RandomProjection};
+
+fn any_signal(max_len: usize) -> impl Strategy<Value = Vec<i16>> {
+    prop::collection::vec(-2000i16..2000, 1..max_len)
+}
+
+proptest! {
+    /// Erosion never exceeds the input sample; dilation never goes
+    /// below it (flat structuring element, zero-initialised window).
+    #[test]
+    fn erosion_below_dilation_above(signal in any_signal(200), w in 1usize..40) {
+        let mut e = Erosion::new(w);
+        let mut d = Dilation::new(w);
+        for &x in &signal {
+            let lo = e.push(x);
+            let hi = d.push(x);
+            prop_assert!(lo <= x.min(0).max(lo)); // erosion ≤ min(window) ≤ x
+            prop_assert!(lo <= x);
+            prop_assert!(hi >= x);
+            prop_assert!(lo <= hi);
+        }
+    }
+
+    /// With window 1 both operators are the identity, so the filter's
+    /// baseline equals the input and the noise stage averages two copies
+    /// of zero — the output is identically zero.
+    #[test]
+    fn window_one_filter_is_null(signal in any_signal(100)) {
+        let mut f = MorphFilter::new(1, 1, 1);
+        for &x in &signal {
+            prop_assert_eq!(f.push(x), 0);
+        }
+    }
+
+    /// The erosion of a window equals the true minimum of the last `w`
+    /// samples once warm.
+    #[test]
+    fn erosion_matches_direct_minimum(signal in any_signal(120), w in 1usize..16) {
+        let mut e = Erosion::new(w);
+        for (i, &x) in signal.iter().enumerate() {
+            let got = e.push(x);
+            if i + 1 >= w {
+                let expected = signal[i + 1 - w..=i].iter().copied().min().expect("non-empty");
+                prop_assert_eq!(got, expected, "at {}", i);
+            }
+        }
+    }
+
+    /// A signal that never crosses the detection threshold produces no
+    /// fiducial points.
+    #[test]
+    fn delineator_is_quiet_below_threshold(signal in prop::collection::vec(-30i16..30, 1..400)) {
+        let mut d = MmdDelineator::new(10, 30, 700, 50);
+        // The derivative response of a bounded signal is bounded by ~4x
+        // its amplitude, far below the 700 threshold here.
+        prop_assert!(d.delineate(&signal).is_empty());
+    }
+
+    /// Detections never violate the refractory spacing.
+    #[test]
+    fn refractory_spacing_is_respected(
+        spikes in prop::collection::btree_set(60usize..900, 0..8),
+    ) {
+        let mut signal = vec![0i16; 1000];
+        for &s in &spikes {
+            signal[s] = 900;
+        }
+        let refractory = 50usize;
+        let mut d = MmdDelineator::new(10, 30, 150, refractory);
+        let points = d.delineate(&signal);
+        for pair in points.windows(2) {
+            prop_assert!(pair[1].sample - pair[0].sample > refractory);
+        }
+        for p in &points {
+            prop_assert!(p.onset <= p.sample);
+        }
+    }
+
+    /// Projection is additive in its input (linearity over the shifted
+    /// samples), which is what makes the centroid decision meaningful.
+    #[test]
+    fn projection_is_deterministic_and_bounded(window in prop::collection::vec(-4000i16..4000, 32)) {
+        let rp = RandomProjection::new_seeded(4, 32, 99);
+        let a = rp.project(&window);
+        let b = rp.project(&window);
+        prop_assert_eq!(&a, &b);
+        // Each output is a sum of 32 samples pre-shifted by 3: bounded
+        // by 32 * 500 in magnitude for this input range.
+        for v in a {
+            prop_assert!((v as i32).abs() <= 32 * (4000 >> 3) + 32);
+        }
+    }
+
+    /// The nearest-centroid decision is symmetric: swapping the
+    /// centroids flips every non-tie label.
+    #[test]
+    fn centroid_swap_flips_labels(
+        p in prop::collection::vec(-500i16..500, 4),
+        c1 in prop::collection::vec(-500i16..500, 4),
+        c2 in prop::collection::vec(-500i16..500, 4),
+    ) {
+        use wbsn_dsp::rproj::BeatLabel;
+        let fwd = NearestCentroid::new(c1.clone(), c2.clone()).classify(&p);
+        let rev = NearestCentroid::new(c2.clone(), c1.clone()).classify(&p);
+        let dn = NearestCentroid::l1_distance16(&p, &c1);
+        let dp = NearestCentroid::l1_distance16(&p, &c2);
+        if dn != dp {
+            prop_assert_ne!(fwd, rev);
+        } else {
+            prop_assert_eq!(fwd, BeatLabel::Normal);
+            prop_assert_eq!(rev, BeatLabel::Normal);
+        }
+    }
+}

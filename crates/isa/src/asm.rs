@@ -1,0 +1,475 @@
+//! Text assembler for the WBSN ISA.
+//!
+//! The accepted syntax is one instruction or label per line, with `;` or
+//! `#` comments:
+//!
+//! ```text
+//! ; countdown
+//!     li   r1, 3
+//! loop:
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop
+//!     halt
+//! ```
+//!
+//! Branch and jump targets may be labels or literal word offsets.
+//!
+//! `.equ NAME, value` defines a symbolic constant usable wherever a
+//! number is expected:
+//!
+//! ```text
+//! .equ OUT, 0x200
+//! .equ COUNT, 10
+//!     li  r1, COUNT
+//!     sw  r1, OUT(r0)
+//! ```
+
+use std::collections::HashMap;
+
+use crate::builder::ProgramBuilder;
+use crate::error::{IsaError, ParseAsmError};
+use crate::instr::{AluImmOp, AluOp, BranchCond, Instr, SyncKind};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// Assembles a full source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseAsmError`]-carrying [`IsaError`] with the offending
+/// 1-based line number for syntax errors, unknown mnemonics, bad operands,
+/// duplicate or undefined labels, and out-of-range immediates.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_isa::asm::assemble_text;
+///
+/// let p = assemble_text("li r1, 7\nhalt\n")?;
+/// assert_eq!(p.len(), 2);
+/// # Ok::<(), wbsn_isa::IsaError>(())
+/// ```
+pub fn assemble_text(source: &str) -> Result<Program, IsaError> {
+    let mut builder = ProgramBuilder::new();
+    let mut consts: HashMap<String, i64> = HashMap::new();
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        parse_line(&mut builder, &mut consts, line).map_err(|e| match e {
+            IsaError::Parse(p) => IsaError::Parse(p.with_line(line_no)),
+            other => other,
+        })?;
+    }
+    builder.assemble()
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_line(
+    builder: &mut ProgramBuilder,
+    consts: &mut HashMap<String, i64>,
+    line: &str,
+) -> Result<(), IsaError> {
+    // Constant definition?
+    if let Some(rest) = line.strip_prefix(".equ") {
+        let Some((name, value)) = rest.split_once(',') else {
+            return Err(ParseAsmError::new("`.equ` expects `NAME, value`").into());
+        };
+        let name = name.trim();
+        if !is_ident(name) {
+            return Err(ParseAsmError::new(format!("invalid constant name `{name}`")).into());
+        }
+        let value = int_with(consts, value.trim())?;
+        if consts.insert(name.to_string(), value).is_some() {
+            return Err(ParseAsmError::new(format!("constant `{name}` redefined")).into());
+        }
+        return Ok(());
+    }
+    let mut rest = line;
+    // A line may start with one or more labels.
+    while let Some(colon) = rest.find(':') {
+        let (label, tail) = rest.split_at(colon);
+        let label = label.trim();
+        if label.is_empty() || !is_ident(label) {
+            return Err(ParseAsmError::new(format!("invalid label `{label}`")).into());
+        }
+        builder.label(label)?;
+        rest = tail[1..].trim_start();
+    }
+    if rest.is_empty() {
+        return Ok(());
+    }
+    parse_instr(builder, consts, rest)
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_instr(
+    builder: &mut ProgramBuilder,
+    consts: &HashMap<String, i64>,
+    text: &str,
+) -> Result<(), IsaError> {
+    let (mnemonic, operands) = match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let ops: Vec<&str> = if operands.is_empty() {
+        Vec::new()
+    } else {
+        operands.split(',').map(str::trim).collect()
+    };
+
+    let expect = |n: usize| -> Result<(), IsaError> {
+        if ops.len() != n {
+            return Err(ParseAsmError::new(format!(
+                "`{mnemonic}` expects {n} operand(s), found {}",
+                ops.len()
+            ))
+            .into());
+        }
+        Ok(())
+    };
+
+    if let Some(op) = alu_op(&mnemonic) {
+        expect(3)?;
+        builder.push(Instr::Alu {
+            op,
+            rd: reg(ops[0])?,
+            ra: reg(ops[1])?,
+            rb: reg(ops[2])?,
+        });
+        return Ok(());
+    }
+    if let Some(op) = alu_imm_op(&mnemonic) {
+        expect(3)?;
+        builder.push(Instr::AluImm {
+            op,
+            rd: reg(ops[0])?,
+            ra: reg(ops[1])?,
+            imm: int_with(consts, ops[2])? as i16,
+        });
+        return Ok(());
+    }
+    if let Some(cond) = branch_cond(&mnemonic) {
+        expect(3)?;
+        let ra = reg(ops[0])?;
+        let rb = reg(ops[1])?;
+        if let Ok(off) = int_with(consts, ops[2]) {
+            builder.push(Instr::Branch {
+                cond,
+                ra,
+                rb,
+                off: off as i16,
+            });
+        } else {
+            builder.branch_to(cond, ra, rb, ops[2]);
+        }
+        return Ok(());
+    }
+    match mnemonic.as_str() {
+        "nop" => {
+            expect(0)?;
+            builder.push(Instr::Nop);
+        }
+        "halt" => {
+            expect(0)?;
+            builder.push(Instr::Halt);
+        }
+        "sleep" => {
+            expect(0)?;
+            builder.push(Instr::Sleep);
+        }
+        "sinc" | "sdec" | "snop" => {
+            expect(1)?;
+            let kind = match mnemonic.as_str() {
+                "sinc" => SyncKind::Inc,
+                "sdec" => SyncKind::Dec,
+                _ => SyncKind::Nop,
+            };
+            builder.push(Instr::Sync {
+                kind,
+                point: int_with(consts, ops[0])? as u16,
+            });
+        }
+        "mov" => {
+            expect(2)?;
+            builder.push(Instr::Mov {
+                rd: reg(ops[0])?,
+                ra: reg(ops[1])?,
+            });
+        }
+        "abs" => {
+            expect(2)?;
+            builder.push(Instr::Abs {
+                rd: reg(ops[0])?,
+                ra: reg(ops[1])?,
+            });
+        }
+        "li" => {
+            expect(2)?;
+            builder.push(Instr::Li {
+                rd: reg(ops[0])?,
+                imm: int_with(consts, ops[1])? as i16,
+            });
+        }
+        "lui" => {
+            expect(2)?;
+            builder.push(Instr::Lui {
+                rd: reg(ops[0])?,
+                imm: int_with(consts, ops[1])? as u8,
+            });
+        }
+        "lw" | "sw" => {
+            expect(2)?;
+            let r = reg(ops[0])?;
+            let (off, base) = mem_operand(consts, ops[1])?;
+            builder.push(if mnemonic == "lw" {
+                Instr::Lw {
+                    rd: r,
+                    ra: base,
+                    off,
+                }
+            } else {
+                Instr::Sw {
+                    rs: r,
+                    ra: base,
+                    off,
+                }
+            });
+        }
+        "jmp" => {
+            expect(1)?;
+            if let Ok(off) = int_with(consts, ops[0]) {
+                builder.push(Instr::Jmp { off: off as i32 });
+            } else {
+                builder.jmp_to(ops[0]);
+            }
+        }
+        "jal" => {
+            expect(2)?;
+            let rd = reg(ops[0])?;
+            if let Ok(off) = int_with(consts, ops[1]) {
+                builder.push(Instr::Jal {
+                    rd,
+                    off: off as i16,
+                });
+            } else if rd == Reg::LINK {
+                builder.call(ops[1]);
+            } else {
+                return Err(ParseAsmError::new(
+                    "label-form `jal` only supports the link register r7",
+                )
+                .into());
+            }
+        }
+        "jr" => {
+            expect(1)?;
+            builder.push(Instr::Jr { ra: reg(ops[0])? });
+        }
+        "call" => {
+            expect(1)?;
+            builder.call(ops[0]);
+        }
+        "ret" => {
+            expect(0)?;
+            builder.ret();
+        }
+        other => {
+            return Err(ParseAsmError::new(format!("unknown mnemonic `{other}`")).into());
+        }
+    }
+    Ok(())
+}
+
+fn alu_op(m: &str) -> Option<AluOp> {
+    AluOp::ALL.into_iter().find(|op| op.mnemonic() == m)
+}
+
+fn alu_imm_op(m: &str) -> Option<AluImmOp> {
+    AluImmOp::ALL.into_iter().find(|op| op.mnemonic() == m)
+}
+
+fn branch_cond(m: &str) -> Option<BranchCond> {
+    BranchCond::ALL.into_iter().find(|c| c.mnemonic() == m)
+}
+
+fn reg(text: &str) -> Result<Reg, IsaError> {
+    text.parse::<Reg>().map_err(IsaError::from)
+}
+
+/// Resolves a number or a `.equ` constant.
+fn int_with(consts: &HashMap<String, i64>, text: &str) -> Result<i64, IsaError> {
+    if let Some(&value) = consts.get(text.trim()) {
+        return Ok(value);
+    }
+    int(text)
+}
+
+fn int(text: &str) -> Result<i64, IsaError> {
+    let text = text.trim();
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| IsaError::from(ParseAsmError::new(format!("invalid number `{text}`"))))?;
+    Ok(if neg { -value } else { value })
+}
+
+/// Parses `off(reg)` memory operands such as `-4(r2)` or `NAME(r0)`.
+fn mem_operand(consts: &HashMap<String, i64>, text: &str) -> Result<(i16, Reg), IsaError> {
+    let open = text.find('(').ok_or_else(|| {
+        IsaError::from(ParseAsmError::new(format!(
+            "expected `offset(reg)` operand, found `{text}`"
+        )))
+    })?;
+    let close = text.rfind(')').ok_or_else(|| {
+        IsaError::from(ParseAsmError::new(format!("missing `)` in `{text}`")))
+    })?;
+    let off_text = text[..open].trim();
+    let off = if off_text.is_empty() {
+        0
+    } else {
+        int_with(consts, off_text)? as i16
+    };
+    let base = reg(text[open + 1..close].trim())?;
+    Ok((off, base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_representative_program() {
+        let src = r"
+            ; set up
+            li   r1, 5
+            li   r2, 0
+        loop:
+            add  r2, r2, r1
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            sw   r2, 0x10(r0)
+            halt
+        ";
+        let p = assemble_text(src).unwrap();
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.label("loop"), Some(2));
+        assert_eq!(
+            p.instrs()[4],
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                ra: Reg::R1,
+                rb: Reg::R0,
+                off: -3
+            }
+        );
+    }
+
+    #[test]
+    fn parses_sync_instructions() {
+        let p = assemble_text("sinc 1\nsdec 1\nsnop 2\nsleep\n").unwrap();
+        assert_eq!(p.sync_instr_count(), 4);
+        assert_eq!(p.instrs()[0], Instr::sinc(1));
+        assert_eq!(p.instrs()[2], Instr::snop(2));
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let p = assemble_text("lw r1, -3(r2)\nsw r4, (r5)\n").unwrap();
+        assert_eq!(p.instrs()[0], Instr::lw(Reg::R1, Reg::R2, -3));
+        assert_eq!(p.instrs()[1], Instr::sw(Reg::R4, Reg::R5, 0));
+    }
+
+    #[test]
+    fn parses_hex_and_negative_numbers() {
+        let p = assemble_text("li r1, 0x7F\nli r2, -0x10\n").unwrap();
+        assert_eq!(p.instrs()[0], Instr::Li { rd: Reg::R1, imm: 0x7F });
+        assert_eq!(p.instrs()[1], Instr::Li { rd: Reg::R2, imm: -16 });
+    }
+
+    #[test]
+    fn call_and_ret_pseudos() {
+        let p = assemble_text("call f\nhalt\nf: ret\n").unwrap();
+        assert_eq!(p.instrs()[2], Instr::Jr { ra: Reg::LINK });
+    }
+
+    #[test]
+    fn equ_constants_resolve_everywhere() {
+        let p = assemble_text(
+            ".equ OUT, 0x200\n.equ COUNT, 3\n.equ PT, 2\nli r1, COUNT\nsw r1, OUT(r0)\nsinc PT\naddi r1, r1, COUNT\nhalt\n",
+        )
+        .unwrap();
+        assert_eq!(p.instrs()[0], Instr::Li { rd: Reg::R1, imm: 3 });
+        assert_eq!(p.instrs()[1], Instr::sw(Reg::R1, Reg::R0, 0x200));
+        assert_eq!(p.instrs()[2], Instr::sinc(2));
+    }
+
+    #[test]
+    fn equ_errors_are_reported() {
+        assert!(assemble_text(".equ X\nhalt\n").is_err());
+        assert!(assemble_text(".equ 1X, 3\nhalt\n").is_err());
+        assert!(assemble_text(".equ X, 1\n.equ X, 2\nhalt\n").is_err());
+        assert!(assemble_text("li r1, UNDEFINED\nhalt\n").is_err());
+    }
+
+    #[test]
+    fn equ_can_reference_earlier_constants() {
+        let p = assemble_text(".equ A, 5\n.equ B, A\nli r1, B\nhalt\n").unwrap();
+        assert_eq!(p.instrs()[0], Instr::Li { rd: Reg::R1, imm: 5 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble_text("nop\nbogus r1\n").unwrap_err();
+        match err {
+            IsaError::Parse(p) => assert_eq!(p.line(), Some(2)),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        assert!(assemble_text("jmp nowhere\n").is_err());
+    }
+
+    #[test]
+    fn wrong_operand_count_is_reported() {
+        assert!(assemble_text("add r1, r2\n").is_err());
+        assert!(assemble_text("halt r1\n").is_err());
+    }
+
+    #[test]
+    fn label_only_lines_and_multiple_labels() {
+        let p = assemble_text("a:\nb: nop\n").unwrap();
+        assert_eq!(p.label("a"), Some(0));
+        assert_eq!(p.label("b"), Some(0));
+    }
+
+    #[test]
+    fn display_round_trips_through_assembler() {
+        let src = "li r1, 5\nabs r2, r1\nmin r3, r2, r1\nsinc 3\nsleep\nhalt\n";
+        let p = assemble_text(src).unwrap();
+        let printed = p.to_string();
+        let again = assemble_text(&printed).unwrap();
+        assert_eq!(p.instrs(), again.instrs());
+    }
+}

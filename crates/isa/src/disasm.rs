@@ -1,0 +1,77 @@
+//! Disassembly of binary instruction words back into readable listings.
+
+use crate::error::DecodeError;
+use crate::instr::Instr;
+
+/// Disassembles one 24-bit word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the word is not a valid instruction.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_isa::{disasm, Instr, Reg};
+///
+/// let word = Instr::add(Reg::R1, Reg::R2, Reg::R3).encode()?;
+/// assert_eq!(disasm::disassemble_word(word)?, "add r1, r2, r3");
+/// # Ok::<(), wbsn_isa::IsaError>(())
+/// ```
+pub fn disassemble_word(word: u32) -> Result<String, DecodeError> {
+    Ok(Instr::decode(word)?.to_string())
+}
+
+/// Disassembles a contiguous range of words into an addressed listing.
+///
+/// Undecodable words are rendered as `.word 0x??????` so a listing of a
+/// memory region that mixes code and data never fails.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_isa::{disasm, Instr};
+///
+/// let words = [Instr::Nop.encode()?, 0x00FF_FFFF];
+/// let listing = disasm::disassemble(&words, 0x100);
+/// assert!(listing[0].contains("nop"));
+/// assert!(listing[1].contains(".word"));
+/// # Ok::<(), wbsn_isa::IsaError>(())
+/// ```
+pub fn disassemble(words: &[u32], base_addr: u32) -> Vec<String> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let addr = base_addr + i as u32;
+            match Instr::decode(w) {
+                Ok(instr) => format!("{addr:#06x}: {instr}"),
+                Err(_) => format!("{addr:#06x}: .word {w:#08x}"),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn listing_addresses_advance() {
+        let words = vec![
+            Instr::Nop.encode().unwrap(),
+            Instr::lw(Reg::R1, Reg::R2, 5).encode().unwrap(),
+        ];
+        let lines = disassemble(&words, 0x10);
+        assert!(lines[0].starts_with("0x0010"));
+        assert!(lines[1].starts_with("0x0011"));
+        assert!(lines[1].contains("lw r1, 5(r2)"));
+    }
+
+    #[test]
+    fn bad_word_becomes_data_directive() {
+        let lines = disassemble(&[0x00FC_0000], 0);
+        assert!(lines[0].contains(".word"));
+    }
+}

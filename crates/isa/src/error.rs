@@ -1,0 +1,322 @@
+//! Error types of the ISA tool-chain.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an instruction cannot be encoded into a 24-bit word.
+///
+/// Carries the offending field name and value so tool-chain diagnostics can
+/// point at the exact out-of-range operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    field: &'static str,
+    value: i64,
+    min: i64,
+    max: i64,
+}
+
+impl EncodeError {
+    pub(crate) fn range(field: &'static str, value: i64, min: i64, max: i64) -> Self {
+        EncodeError {
+            field,
+            value,
+            min,
+            max,
+        }
+    }
+
+    /// Name of the instruction field that was out of range.
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+
+    /// The value that failed to encode.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "field `{}` value {} outside encodable range {}..={}",
+            self.field, self.value, self.min, self.max
+        )
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Error returned when a 24-bit word does not decode to a valid instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u32,
+    reason: DecodeReason,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DecodeReason {
+    UnknownOpcode(u8),
+    WideWord,
+}
+
+impl DecodeError {
+    pub(crate) fn unknown_opcode(word: u32, opcode: u8) -> Self {
+        DecodeError {
+            word,
+            reason: DecodeReason::UnknownOpcode(opcode),
+        }
+    }
+
+    pub(crate) fn wide_word(word: u32) -> Self {
+        DecodeError {
+            word,
+            reason: DecodeReason::WideWord,
+        }
+    }
+
+    /// The raw word that failed to decode.
+    pub fn word(&self) -> u32 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.reason {
+            DecodeReason::UnknownOpcode(op) => {
+                write!(f, "word {:#08x} has unknown opcode {:#04x}", self.word, op)
+            }
+            DecodeReason::WideWord => write!(
+                f,
+                "word {:#010x} does not fit in 24 bits",
+                self.word
+            ),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Error produced while parsing assembly text or builder label references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    line: Option<usize>,
+    message: String,
+}
+
+impl ParseAsmError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ParseAsmError {
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn bad_register(text: &str) -> Self {
+        ParseAsmError::new(format!("invalid register name `{text}`"))
+    }
+
+    pub(crate) fn with_line(mut self, line: usize) -> Self {
+        self.line.get_or_insert(line);
+        self
+    }
+
+    /// 1-based source line the error occurred on, when known.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl Error for ParseAsmError {}
+
+/// Error produced while linking sections into the instruction memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A section was assigned to a bank index outside the memory geometry.
+    BankOutOfRange {
+        /// Section name.
+        section: String,
+        /// Requested bank.
+        bank: usize,
+        /// Number of available banks.
+        banks: usize,
+    },
+    /// A bank overflowed while placing a section.
+    BankOverflow {
+        /// Section name.
+        section: String,
+        /// Bank that overflowed.
+        bank: usize,
+        /// Words needed beyond capacity.
+        excess: usize,
+    },
+    /// Two sections share a name.
+    DuplicateSection(String),
+    /// A data segment falls outside the data memory.
+    DataOutOfRange {
+        /// First word address of the segment.
+        base: u32,
+        /// Segment length in words.
+        len: usize,
+    },
+    /// Two data segments overlap.
+    DataOverlap {
+        /// Address at which the overlap was detected.
+        addr: u32,
+    },
+    /// A core was given an entry section that does not exist.
+    UnknownEntrySection {
+        /// Core index.
+        core: usize,
+        /// Section name that was not found.
+        section: String,
+    },
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::BankOutOfRange {
+                section,
+                bank,
+                banks,
+            } => write!(
+                f,
+                "section `{section}` assigned to bank {bank} but only {banks} banks exist"
+            ),
+            LinkError::BankOverflow {
+                section,
+                bank,
+                excess,
+            } => write!(
+                f,
+                "section `{section}` overflows bank {bank} by {excess} words"
+            ),
+            LinkError::DuplicateSection(name) => {
+                write!(f, "duplicate section name `{name}`")
+            }
+            LinkError::DataOutOfRange { base, len } => write!(
+                f,
+                "data segment at {base:#06x} with {len} words exceeds data memory"
+            ),
+            LinkError::DataOverlap { addr } => {
+                write!(f, "data segments overlap at address {addr:#06x}")
+            }
+            LinkError::UnknownEntrySection { core, section } => {
+                write!(f, "core {core} entry refers to unknown section `{section}`")
+            }
+        }
+    }
+}
+
+impl Error for LinkError {}
+
+/// Umbrella error for the whole crate, convertible from every specific
+/// tool-chain error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// Instruction encoding failed.
+    Encode(EncodeError),
+    /// Instruction decoding failed.
+    Decode(DecodeError),
+    /// Assembly parsing or label resolution failed.
+    Parse(ParseAsmError),
+    /// Linking failed.
+    Link(LinkError),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::Encode(e) => write!(f, "encode error: {e}"),
+            IsaError::Decode(e) => write!(f, "decode error: {e}"),
+            IsaError::Parse(e) => write!(f, "assembly error: {e}"),
+            IsaError::Link(e) => write!(f, "link error: {e}"),
+        }
+    }
+}
+
+impl Error for IsaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IsaError::Encode(e) => Some(e),
+            IsaError::Decode(e) => Some(e),
+            IsaError::Parse(e) => Some(e),
+            IsaError::Link(e) => Some(e),
+        }
+    }
+}
+
+impl From<EncodeError> for IsaError {
+    fn from(e: EncodeError) -> Self {
+        IsaError::Encode(e)
+    }
+}
+
+impl From<DecodeError> for IsaError {
+    fn from(e: DecodeError) -> Self {
+        IsaError::Decode(e)
+    }
+}
+
+impl From<ParseAsmError> for IsaError {
+    fn from(e: ParseAsmError) -> Self {
+        IsaError::Parse(e)
+    }
+}
+
+impl From<LinkError> for IsaError {
+    fn from(e: LinkError) -> Self {
+        IsaError::Link(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EncodeError::range("imm", 5000, -2048, 2047);
+        assert!(e.to_string().contains("imm"));
+        assert!(e.to_string().contains("5000"));
+
+        let d = DecodeError::unknown_opcode(0x00ff_ffff, 0x3f);
+        assert!(d.to_string().contains("opcode"));
+
+        let p = ParseAsmError::new("oops").with_line(3);
+        assert_eq!(p.to_string(), "line 3: oops");
+
+        let l = LinkError::DuplicateSection("main".into());
+        assert!(l.to_string().contains("main"));
+    }
+
+    #[test]
+    fn umbrella_error_wraps_sources() {
+        let e: IsaError = EncodeError::range("off", 1 << 20, -(1 << 17), (1 << 17) - 1).into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().starts_with("encode error"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

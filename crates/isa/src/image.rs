@@ -1,0 +1,302 @@
+//! Binary serialization of linked images.
+//!
+//! A [`LinkedImage`] can be saved to a compact binary
+//! container and loaded back — the hand-off format between the
+//! tool-chain binaries (`wbsn-asm`) and the platform runner (`wbsn-run`).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  "WBSN"            4 bytes
+//! version u16              currently 1
+//! sections u16             count
+//!   per section: name_len u8, name bytes, base u32, len u32,
+//!                len × u32 instruction words
+//! entries u8               count
+//!   per entry: core u8, addr u32
+//! dm_init u32              count
+//!   per word: addr u32, value u16
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::link::{LinkedImage, Linker, Section};
+use crate::program::Program;
+use crate::Instr;
+
+/// Magic prefix of the container.
+pub const MAGIC: &[u8; 4] = b"WBSN";
+
+/// Container format version written by this crate.
+pub const VERSION: u16 = 1;
+
+/// Errors raised while reading an image container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageFormatError {
+    /// The buffer does not start with the `WBSN` magic.
+    BadMagic,
+    /// The container version is not supported.
+    BadVersion(u16),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A section name is not valid UTF-8.
+    BadSectionName,
+    /// A stored instruction word does not decode.
+    BadInstruction {
+        /// The address of the bad word.
+        addr: u32,
+    },
+    /// Rebuilding the image failed (overlap, bank overflow, …).
+    Link(crate::LinkError),
+}
+
+impl fmt::Display for ImageFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageFormatError::BadMagic => f.write_str("not a WBSN image (bad magic)"),
+            ImageFormatError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            ImageFormatError::Truncated => f.write_str("image truncated"),
+            ImageFormatError::BadSectionName => f.write_str("section name is not UTF-8"),
+            ImageFormatError::BadInstruction { addr } => {
+                write!(f, "undecodable instruction word at {addr:#06x}")
+            }
+            ImageFormatError::Link(e) => write!(f, "image re-link failed: {e}"),
+        }
+    }
+}
+
+impl Error for ImageFormatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ImageFormatError::Link(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes a linked image into the container format.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_isa::{assemble_text, image, Linker, Section};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut linker = Linker::new();
+/// linker.add_section(Section::new("main", assemble_text("halt\n")?));
+/// linker.set_entry(0, "main");
+/// let original = linker.link()?;
+/// let bytes = image::to_bytes(&original);
+/// let restored = image::from_bytes(&bytes)?;
+/// assert_eq!(restored.entry(0), original.entry(0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_bytes(image: &LinkedImage) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    let sections = image.sections();
+    out.extend_from_slice(&(sections.len() as u16).to_le_bytes());
+    for section in sections {
+        let name = section.name.as_bytes();
+        out.push(name.len().min(255) as u8);
+        out.extend_from_slice(&name[..name.len().min(255)]);
+        out.extend_from_slice(&section.base.to_le_bytes());
+        out.extend_from_slice(&(section.len as u32).to_le_bytes());
+        for offset in 0..section.len {
+            let word = image.instr_word(section.base + offset as u32);
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+    let entries: Vec<(usize, u32)> = image.entries().collect();
+    out.push(entries.len() as u8);
+    for (core, addr) in entries {
+        out.push(core as u8);
+        out.extend_from_slice(&addr.to_le_bytes());
+    }
+    let init: Vec<(u32, u16)> = image.dm_init().collect();
+    out.extend_from_slice(&(init.len() as u32).to_le_bytes());
+    for (addr, word) in init {
+        out.extend_from_slice(&addr.to_le_bytes());
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageFormatError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ImageFormatError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ImageFormatError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ImageFormatError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageFormatError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+}
+
+/// Reads an image container back into a [`LinkedImage`].
+///
+/// # Errors
+///
+/// Returns [`ImageFormatError`] for malformed containers, undecodable
+/// instruction words, or contents that no longer fit the memory
+/// geometry.
+pub fn from_bytes(bytes: &[u8]) -> Result<LinkedImage, ImageFormatError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(ImageFormatError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(ImageFormatError::BadVersion(version));
+    }
+    let mut linker = Linker::new();
+    let sections = r.u16()?;
+    let mut loaded: Vec<(String, u32, Vec<Instr>)> = Vec::new();
+    for _ in 0..sections {
+        let name_len = r.u8()? as usize;
+        let name = std::str::from_utf8(r.take(name_len)?)
+            .map_err(|_| ImageFormatError::BadSectionName)?
+            .to_string();
+        let base = r.u32()?;
+        let len = r.u32()? as usize;
+        let mut instrs = Vec::with_capacity(len);
+        for offset in 0..len {
+            let word = r.u32()?;
+            let instr = Instr::decode(word).map_err(|_| ImageFormatError::BadInstruction {
+                addr: base + offset as u32,
+            })?;
+            instrs.push(instr);
+        }
+        loaded.push((name, base, instrs));
+    }
+    // Re-place each section exactly where it was: pin it to its bank and
+    // declare sections in ascending base order, which is the order the
+    // linker packs a bank in.
+    loaded.sort_by_key(|(_, base, _)| *base);
+    let mut placed: Vec<(String, u32)> = Vec::new();
+    for (name, base, instrs) in loaded {
+        placed.push((name.clone(), base));
+        linker.add_section(Section::in_bank(
+            name,
+            Program::from_instrs(instrs),
+            base as usize / crate::mem::IM_BANK_WORDS,
+        ));
+    }
+    let entries = r.u8()?;
+    let mut entry_pairs = Vec::new();
+    for _ in 0..entries {
+        let core = r.u8()? as usize;
+        let addr = r.u32()?;
+        entry_pairs.push((core, addr));
+    }
+    let init_count = r.u32()?;
+    for _ in 0..init_count {
+        let addr = r.u32()?;
+        let word = r.u16()?;
+        linker.add_data(crate::link::DataSegment::new(addr, vec![word]));
+    }
+    // Entries are stored by address; map them back to sections.
+    for (core, addr) in entry_pairs {
+        let section = placed
+            .iter()
+            .find(|(_, base)| *base == addr)
+            .map(|(name, _)| name.clone())
+            .ok_or(ImageFormatError::Truncated)?;
+        linker.set_entry(core, section);
+    }
+    linker.link().map_err(ImageFormatError::Link)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assemble_text, DataSegment};
+
+    fn sample_image() -> LinkedImage {
+        let mut linker = Linker::new();
+        linker.add_section(Section::in_bank(
+            "a",
+            assemble_text("li r1, 5\nsinc 2\nhalt\n").expect("assembles"),
+            1,
+        ));
+        linker.add_section(Section::in_bank(
+            "b",
+            assemble_text("nop\nsleep\nhalt\n").expect("assembles"),
+            3,
+        ));
+        linker.set_entry(0, "a");
+        linker.set_entry(2, "b");
+        linker.add_data(DataSegment::new(0x200, vec![7, 8, 9]));
+        linker.link().expect("links")
+    }
+
+    #[test]
+    fn round_trip_preserves_everything_observable() {
+        let original = sample_image();
+        let restored = from_bytes(&to_bytes(&original)).expect("round trips");
+        assert_eq!(restored.im_words(), original.im_words());
+        assert_eq!(
+            restored.entries().collect::<Vec<_>>(),
+            original.entries().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            restored.dm_init().collect::<Vec<_>>(),
+            original.dm_init().collect::<Vec<_>>()
+        );
+        assert_eq!(restored.active_im_banks(), original.active_im_banks());
+        assert_eq!(restored.code_words(), original.code_words());
+        assert_eq!(restored.sync_words(), original.sync_words());
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        assert_eq!(from_bytes(b"NOPE").unwrap_err(), ImageFormatError::BadMagic);
+        let mut bytes = to_bytes(&sample_image());
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(ImageFormatError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = to_bytes(&sample_image());
+        for cut in [3, 8, bytes.len() - 1] {
+            assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_instruction_word_is_rejected() {
+        let mut bytes = to_bytes(&sample_image());
+        // The first section's first instruction word starts after
+        // magic(4) + version(2) + count(2) + name_len(1) + name(1) +
+        // base(4) + len(4) = 18.
+        bytes[18..22].copy_from_slice(&0x00FF_FFFFu32.to_le_bytes());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(ImageFormatError::BadInstruction { .. })
+        ));
+    }
+}

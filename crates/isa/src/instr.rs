@@ -1,0 +1,889 @@
+//! Instruction definitions and 24-bit binary encoding.
+//!
+//! The instruction word is 24 bits wide (the paper's instruction memory is
+//! 32 KWords × 24 bits). The top six bits select the opcode; the remaining
+//! bits hold register and immediate fields according to the format of each
+//! instruction family:
+//!
+//! | family | layout (bit 23 .. bit 0) |
+//! |---|---|
+//! | R-type ALU | `op\[6\] rd\[3\] ra\[3\] rb\[3\] 0\[9\]` |
+//! | I-type ALU / LW / SW | `op\[6\] rd\[3\] ra\[3\] imm12\[12\]` |
+//! | LI | `op\[6\] rd\[3\] imm15\[15\]` |
+//! | LUI | `op\[6\] rd\[3\] 0\[7\] imm8\[8\]` |
+//! | branch | `op\[6\] ra\[3\] rb\[3\] off12\[12\]` |
+//! | JMP | `op\[6\] off18\[18\]` |
+//! | JAL | `op\[6\] rd\[3\] off15\[15\]` |
+//! | JR | `op\[6\] ra\[3\] 0\[15\]` |
+//! | sync (SINC/SDEC/SNOP) | `op\[6\] 0\[6\] point12\[12\]` |
+//!
+//! Branch and jump offsets count instruction words relative to the
+//! instruction *after* the control transfer (`pc + 1`), matching the
+//! three-stage pipeline's natural sequential fetch.
+
+use std::fmt;
+
+use crate::error::{DecodeError, EncodeError};
+use crate::mem::INSTR_MASK;
+use crate::reg::Reg;
+
+/// Register-register ALU operation selector.
+///
+/// `Min`/`Max` are signed and are first-class operations because the
+/// morphological-filtering workloads the platform targets are dominated by
+/// running minima and maxima (erosions and dilations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping 16-bit addition.
+    Add,
+    /// Wrapping 16-bit subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left by `rb & 0xF`.
+    Sll,
+    /// Logical shift right by `rb & 0xF`.
+    Srl,
+    /// Arithmetic shift right by `rb & 0xF`.
+    Sra,
+    /// Low 16 bits of the signed 16×16 product.
+    Mul,
+    /// High 16 bits of the signed 16×16 product.
+    Mulh,
+    /// Signed minimum.
+    Min,
+    /// Signed maximum.
+    Max,
+    /// Set to 1 when `ra < rb` (signed), else 0.
+    Slt,
+    /// Set to 1 when `ra < rb` (unsigned), else 0.
+    Sltu,
+}
+
+impl AluOp {
+    /// All ALU operations, in opcode order.
+    pub const ALL: [AluOp; 14] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Mul,
+        AluOp::Mulh,
+        AluOp::Min,
+        AluOp::Max,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ];
+
+    /// Mnemonic used by the assembler and disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Mul => "mul",
+            AluOp::Mulh => "mulh",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+}
+
+/// Register-immediate ALU operation selector.
+///
+/// `Addi` sign-extends its 12-bit immediate; the logical operations
+/// zero-extend it; shifts use the low four bits as the shift amount.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// `rd = ra + sext(imm12)`.
+    Addi,
+    /// `rd = ra & zext(imm12)`.
+    Andi,
+    /// `rd = ra | zext(imm12)`.
+    Ori,
+    /// `rd = ra ^ zext(imm12)`.
+    Xori,
+    /// `rd = ra << imm` with `imm` in `0..16`.
+    Slli,
+    /// `rd = ra >> imm` (logical).
+    Srli,
+    /// `rd = ra >> imm` (arithmetic).
+    Srai,
+}
+
+impl AluImmOp {
+    /// All register-immediate operations, in opcode order.
+    pub const ALL: [AluImmOp; 7] = [
+        AluImmOp::Addi,
+        AluImmOp::Andi,
+        AluImmOp::Ori,
+        AluImmOp::Xori,
+        AluImmOp::Slli,
+        AluImmOp::Srli,
+        AluImmOp::Srai,
+    ];
+
+    /// Mnemonic used by the assembler and disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Andi => "andi",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Slli => "slli",
+            AluImmOp::Srli => "srli",
+            AluImmOp::Srai => "srai",
+        }
+    }
+
+    /// Whether the immediate is a shift amount restricted to `0..16`.
+    pub fn is_shift(self) -> bool {
+        matches!(self, AluImmOp::Slli | AluImmOp::Srli | AluImmOp::Srai)
+    }
+}
+
+/// Branch comparison condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Taken when `ra == rb`.
+    Eq,
+    /// Taken when `ra != rb`.
+    Ne,
+    /// Taken when `ra < rb` (signed).
+    Lt,
+    /// Taken when `ra >= rb` (signed).
+    Ge,
+    /// Taken when `ra < rb` (unsigned).
+    Ltu,
+    /// Taken when `ra >= rb` (unsigned).
+    Geu,
+}
+
+impl BranchCond {
+    /// All conditions, in opcode order.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+
+    /// Mnemonic used by the assembler and disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+
+    /// Evaluates the condition on two 16-bit register values.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wbsn_isa::BranchCond;
+    ///
+    /// assert!(BranchCond::Lt.eval(0xFFFF, 1)); // -1 < 1 signed
+    /// assert!(!BranchCond::Ltu.eval(0xFFFF, 1)); // 65535 > 1 unsigned
+    /// ```
+    pub fn eval(self, a: u16, b: u16) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i16) < (b as i16),
+            BranchCond::Ge => (a as i16) >= (b as i16),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+}
+
+/// Selector for the three synchronization-point instructions of the ISE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncKind {
+    /// `SINC(#lit)`: set the issuing core's flag and increment the counter.
+    Inc,
+    /// `SDEC(#lit)`: decrement the counter, flags untouched.
+    Dec,
+    /// `SNOP(#lit)`: set the issuing core's flag, counter untouched.
+    Nop,
+}
+
+impl SyncKind {
+    /// Mnemonic used by the assembler and disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            SyncKind::Inc => "sinc",
+            SyncKind::Dec => "sdec",
+            SyncKind::Nop => "snop",
+        }
+    }
+}
+
+/// Largest synchronization-point literal encodable in a sync instruction.
+pub const MAX_SYNC_POINT: u16 = (1 << 12) - 1;
+
+/// A decoded instruction of the WBSN 16-bit RISC ISA with the
+/// synchronization instruction-set extension.
+///
+/// Construct values either directly or through the convenience
+/// constructors ([`Instr::add`], [`Instr::addi`], …), which are what the
+/// code generators in downstream crates use.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_isa::{Instr, Reg};
+///
+/// let i = Instr::add(Reg::R1, Reg::R2, Reg::R3);
+/// let word = i.encode()?;
+/// assert_eq!(Instr::decode(word)?, i);
+/// # Ok::<(), wbsn_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// Stop the issuing core permanently (simulation end marker).
+    Halt,
+    /// Request clock gating from the synchronizer until the next
+    /// synchronization event or subscribed interrupt.
+    Sleep,
+    /// A synchronization-point instruction (`SINC`/`SDEC`/`SNOP`).
+    Sync {
+        /// Which of the three point updates to perform.
+        kind: SyncKind,
+        /// Synchronization-point literal (`#lit` in the paper).
+        point: u16,
+    },
+    /// Register-register ALU operation.
+    Alu {
+        /// Operation selector.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First operand.
+        ra: Reg,
+        /// Second operand.
+        rb: Reg,
+    },
+    /// Register copy: `rd = ra`.
+    Mov {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+    },
+    /// Absolute value: `rd = |ra|` (signed; `-32768` saturates to `32767`).
+    Abs {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+    },
+    /// Register-immediate ALU operation.
+    AluImm {
+        /// Operation selector.
+        op: AluImmOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+        /// 12-bit immediate (interpretation depends on `op`).
+        imm: i16,
+    },
+    /// Load a sign-extended 15-bit immediate: `rd = sext(imm15)`.
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate in `-16384..=16383`.
+        imm: i16,
+    },
+    /// Load upper immediate: `rd = imm8 << 8`.
+    Lui {
+        /// Destination register.
+        rd: Reg,
+        /// High byte.
+        imm: u8,
+    },
+    /// Load word: `rd = dm[ra + sext(off12)]`.
+    Lw {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        ra: Reg,
+        /// Signed word offset.
+        off: i16,
+    },
+    /// Store word: `dm[ra + sext(off12)] = rs`.
+    Sw {
+        /// Source register holding the value to store.
+        rs: Reg,
+        /// Base address register.
+        ra: Reg,
+        /// Signed word offset.
+        off: i16,
+    },
+    /// Conditional branch to `pc + 1 + off`.
+    Branch {
+        /// Comparison condition.
+        cond: BranchCond,
+        /// First compared register.
+        ra: Reg,
+        /// Second compared register.
+        rb: Reg,
+        /// Signed word offset from `pc + 1`.
+        off: i16,
+    },
+    /// Unconditional jump to `pc + 1 + off` (18-bit signed offset).
+    Jmp {
+        /// Signed word offset from `pc + 1`.
+        off: i32,
+    },
+    /// Jump and link: `rd = pc + 1; pc = pc + 1 + off`.
+    Jal {
+        /// Link destination register.
+        rd: Reg,
+        /// Signed word offset from `pc + 1`.
+        off: i16,
+    },
+    /// Jump to the address in `ra`.
+    Jr {
+        /// Register holding the target address.
+        ra: Reg,
+    },
+}
+
+// Opcode constants (bits 23..18 of the instruction word).
+const OP_NOP: u8 = 0x00;
+const OP_HALT: u8 = 0x01;
+const OP_SLEEP: u8 = 0x02;
+const OP_SINC: u8 = 0x04;
+const OP_SDEC: u8 = 0x05;
+const OP_SNOP: u8 = 0x06;
+const OP_ALU_BASE: u8 = 0x08; // 0x08..=0x15
+const OP_MOV: u8 = 0x16;
+const OP_ABS: u8 = 0x17;
+const OP_ALUI_BASE: u8 = 0x18; // 0x18..=0x1E
+const OP_LI: u8 = 0x20;
+const OP_LUI: u8 = 0x21;
+const OP_LW: u8 = 0x22;
+const OP_SW: u8 = 0x23;
+const OP_BRANCH_BASE: u8 = 0x28; // 0x28..=0x2D
+const OP_JMP: u8 = 0x30;
+const OP_JAL: u8 = 0x31;
+const OP_JR: u8 = 0x32;
+
+#[inline]
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+#[inline]
+fn check_signed(field: &'static str, value: i64, bits: u32) -> Result<u32, EncodeError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if value < min || value > max {
+        return Err(EncodeError::range(field, value, min, max));
+    }
+    Ok((value as u32) & ((1u32 << bits) - 1))
+}
+
+#[inline]
+fn check_unsigned(field: &'static str, value: i64, bits: u32) -> Result<u32, EncodeError> {
+    let max = (1i64 << bits) - 1;
+    if value < 0 || value > max {
+        return Err(EncodeError::range(field, value, 0, max));
+    }
+    Ok(value as u32)
+}
+
+impl Instr {
+    // --- convenience constructors -------------------------------------
+
+    /// `rd = ra + rb`.
+    pub fn add(rd: Reg, ra: Reg, rb: Reg) -> Instr {
+        Instr::Alu {
+            op: AluOp::Add,
+            rd,
+            ra,
+            rb,
+        }
+    }
+
+    /// `rd = ra - rb`.
+    pub fn sub(rd: Reg, ra: Reg, rb: Reg) -> Instr {
+        Instr::Alu {
+            op: AluOp::Sub,
+            rd,
+            ra,
+            rb,
+        }
+    }
+
+    /// `rd = min(ra, rb)` signed.
+    pub fn min(rd: Reg, ra: Reg, rb: Reg) -> Instr {
+        Instr::Alu {
+            op: AluOp::Min,
+            rd,
+            ra,
+            rb,
+        }
+    }
+
+    /// `rd = max(ra, rb)` signed.
+    pub fn max(rd: Reg, ra: Reg, rb: Reg) -> Instr {
+        Instr::Alu {
+            op: AluOp::Max,
+            rd,
+            ra,
+            rb,
+        }
+    }
+
+    /// `rd = ra + sext(imm)`.
+    pub fn addi(rd: Reg, ra: Reg, imm: i16) -> Instr {
+        Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd,
+            ra,
+            imm,
+        }
+    }
+
+    /// `rd = ra >> imm` arithmetic.
+    pub fn srai(rd: Reg, ra: Reg, imm: i16) -> Instr {
+        Instr::AluImm {
+            op: AluImmOp::Srai,
+            rd,
+            ra,
+            imm,
+        }
+    }
+
+    /// `rd = dm[ra + off]`.
+    pub fn lw(rd: Reg, ra: Reg, off: i16) -> Instr {
+        Instr::Lw { rd, ra, off }
+    }
+
+    /// `dm[ra + off] = rs`.
+    pub fn sw(rs: Reg, ra: Reg, off: i16) -> Instr {
+        Instr::Sw { rs, ra, off }
+    }
+
+    /// `SINC(#point)`.
+    pub fn sinc(point: u16) -> Instr {
+        Instr::Sync {
+            kind: SyncKind::Inc,
+            point,
+        }
+    }
+
+    /// `SDEC(#point)`.
+    pub fn sdec(point: u16) -> Instr {
+        Instr::Sync {
+            kind: SyncKind::Dec,
+            point,
+        }
+    }
+
+    /// `SNOP(#point)`.
+    pub fn snop(point: u16) -> Instr {
+        Instr::Sync {
+            kind: SyncKind::Nop,
+            point,
+        }
+    }
+
+    // --- classification helpers ---------------------------------------
+
+    /// Whether this is one of the synchronization ISE instructions
+    /// (`SINC`, `SDEC`, `SNOP` or `SLEEP`).
+    ///
+    /// Table I's *code overhead* is the fraction of such instructions in
+    /// the placed binary, and the *run-time overhead* their share of the
+    /// executed active cycles.
+    pub fn is_sync_ise(&self) -> bool {
+        matches!(self, Instr::Sync { .. } | Instr::Sleep)
+    }
+
+    /// Whether the instruction may redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Branch { .. } | Instr::Jmp { .. } | Instr::Jal { .. } | Instr::Jr { .. }
+        )
+    }
+
+    /// The register written by this instruction, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Instr::Alu { rd, .. }
+            | Instr::Mov { rd, .. }
+            | Instr::Abs { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::Li { rd, .. }
+            | Instr::Lui { rd, .. }
+            | Instr::Lw { rd, .. }
+            | Instr::Jal { rd, .. } => Some(rd),
+            _ => None,
+        }
+    }
+
+    /// The registers read by this instruction (up to two).
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Instr::Alu { ra, rb, .. } | Instr::Branch { ra, rb, .. } => [Some(ra), Some(rb)],
+            Instr::Mov { ra, .. }
+            | Instr::Abs { ra, .. }
+            | Instr::AluImm { ra, .. }
+            | Instr::Lw { ra, .. }
+            | Instr::Jr { ra } => [Some(ra), None],
+            Instr::Sw { rs, ra, .. } => [Some(rs), Some(ra)],
+            _ => [None, None],
+        }
+    }
+
+    // --- binary encoding ----------------------------------------------
+
+    /// Encodes the instruction into its 24-bit binary word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when an immediate, offset or
+    /// synchronization-point literal does not fit its field.
+    pub fn encode(&self) -> Result<u32, EncodeError> {
+        let op = |o: u8| (o as u32) << 18;
+        let rd3 = |r: Reg| (r.index() as u32) << 15;
+        let ra3 = |r: Reg| (r.index() as u32) << 12;
+        let rb3 = |r: Reg| (r.index() as u32) << 9;
+        let word = match *self {
+            Instr::Nop => op(OP_NOP),
+            Instr::Halt => op(OP_HALT),
+            Instr::Sleep => op(OP_SLEEP),
+            Instr::Sync { kind, point } => {
+                let o = match kind {
+                    SyncKind::Inc => OP_SINC,
+                    SyncKind::Dec => OP_SDEC,
+                    SyncKind::Nop => OP_SNOP,
+                };
+                op(o) | check_unsigned("point", point as i64, 12)?
+            }
+            Instr::Alu { op: alu, rd, ra, rb } => {
+                let o = OP_ALU_BASE + AluOp::ALL.iter().position(|&x| x == alu).unwrap() as u8;
+                op(o) | rd3(rd) | ra3(ra) | rb3(rb)
+            }
+            Instr::Mov { rd, ra } => op(OP_MOV) | rd3(rd) | ra3(ra),
+            Instr::Abs { rd, ra } => op(OP_ABS) | rd3(rd) | ra3(ra),
+            Instr::AluImm { op: alu, rd, ra, imm } => {
+                let o =
+                    OP_ALUI_BASE + AluImmOp::ALL.iter().position(|&x| x == alu).unwrap() as u8;
+                let field = if alu.is_shift() {
+                    check_unsigned("shamt", imm as i64, 4)?
+                } else if alu == AluImmOp::Addi {
+                    check_signed("imm", imm as i64, 12)?
+                } else {
+                    check_unsigned("imm", imm as i64, 12)?
+                };
+                op(o) | rd3(rd) | ra3(ra) | field
+            }
+            Instr::Li { rd, imm } => op(OP_LI) | rd3(rd) | check_signed("imm", imm as i64, 15)?,
+            Instr::Lui { rd, imm } => op(OP_LUI) | rd3(rd) | imm as u32,
+            Instr::Lw { rd, ra, off } => {
+                op(OP_LW) | rd3(rd) | ra3(ra) | check_signed("off", off as i64, 12)?
+            }
+            Instr::Sw { rs, ra, off } => {
+                op(OP_SW) | rd3(rs) | ra3(ra) | check_signed("off", off as i64, 12)?
+            }
+            Instr::Branch { cond, ra, rb, off } => {
+                let o =
+                    OP_BRANCH_BASE + BranchCond::ALL.iter().position(|&x| x == cond).unwrap() as u8;
+                op(o) | rd3(ra) | ra3(rb) | check_signed("off", off as i64, 12)?
+            }
+            Instr::Jmp { off } => op(OP_JMP) | check_signed("off", off as i64, 18)?,
+            Instr::Jal { rd, off } => op(OP_JAL) | rd3(rd) | check_signed("off", off as i64, 15)?,
+            Instr::Jr { ra } => op(OP_JR) | rd3(ra),
+        };
+        debug_assert_eq!(word & !INSTR_MASK, 0);
+        Ok(word)
+    }
+
+    /// Decodes a 24-bit binary word back into an instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when the word is wider than 24 bits or the
+    /// opcode is not assigned.
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        if word & !INSTR_MASK != 0 {
+            return Err(DecodeError::wide_word(word));
+        }
+        let opcode = (word >> 18) as u8;
+        let rd = Reg::from_bits3(word >> 15);
+        let ra = Reg::from_bits3(word >> 12);
+        let rb = Reg::from_bits3(word >> 9);
+        let imm12 = sext(word & 0xFFF, 12) as i16;
+        let instr = match opcode {
+            OP_NOP => Instr::Nop,
+            OP_HALT => Instr::Halt,
+            OP_SLEEP => Instr::Sleep,
+            OP_SINC | OP_SDEC | OP_SNOP => {
+                let kind = match opcode {
+                    OP_SINC => SyncKind::Inc,
+                    OP_SDEC => SyncKind::Dec,
+                    _ => SyncKind::Nop,
+                };
+                Instr::Sync {
+                    kind,
+                    point: (word & 0xFFF) as u16,
+                }
+            }
+            o if (OP_ALU_BASE..OP_ALU_BASE + 14).contains(&o) => Instr::Alu {
+                op: AluOp::ALL[(o - OP_ALU_BASE) as usize],
+                rd,
+                ra,
+                rb,
+            },
+            OP_MOV => Instr::Mov { rd, ra },
+            OP_ABS => Instr::Abs { rd, ra },
+            o if (OP_ALUI_BASE..OP_ALUI_BASE + 7).contains(&o) => {
+                let op = AluImmOp::ALL[(o - OP_ALUI_BASE) as usize];
+                let imm = if op.is_shift() {
+                    (word & 0xF) as i16
+                } else if op == AluImmOp::Addi {
+                    imm12
+                } else {
+                    (word & 0xFFF) as i16
+                };
+                Instr::AluImm { op, rd, ra, imm }
+            }
+            OP_LI => Instr::Li {
+                rd,
+                imm: sext(word & 0x7FFF, 15) as i16,
+            },
+            OP_LUI => Instr::Lui {
+                rd,
+                imm: (word & 0xFF) as u8,
+            },
+            OP_LW => Instr::Lw { rd, ra, off: imm12 },
+            OP_SW => Instr::Sw {
+                rs: rd,
+                ra,
+                off: imm12,
+            },
+            o if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&o) => Instr::Branch {
+                cond: BranchCond::ALL[(o - OP_BRANCH_BASE) as usize],
+                ra: rd,
+                rb: ra,
+                off: imm12,
+            },
+            OP_JMP => Instr::Jmp {
+                off: sext(word & 0x3FFFF, 18),
+            },
+            OP_JAL => Instr::Jal {
+                rd,
+                off: sext(word & 0x7FFF, 15) as i16,
+            },
+            OP_JR => Instr::Jr { ra: rd },
+            _ => return Err(DecodeError::unknown_opcode(word, opcode)),
+        };
+        Ok(instr)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Nop => f.write_str("nop"),
+            Instr::Halt => f.write_str("halt"),
+            Instr::Sleep => f.write_str("sleep"),
+            Instr::Sync { kind, point } => write!(f, "{} {}", kind.mnemonic(), point),
+            Instr::Alu { op, rd, ra, rb } => {
+                write!(f, "{} {rd}, {ra}, {rb}", op.mnemonic())
+            }
+            Instr::Mov { rd, ra } => write!(f, "mov {rd}, {ra}"),
+            Instr::Abs { rd, ra } => write!(f, "abs {rd}, {ra}"),
+            Instr::AluImm { op, rd, ra, imm } => {
+                write!(f, "{} {rd}, {ra}, {imm}", op.mnemonic())
+            }
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {imm}"),
+            Instr::Lw { rd, ra, off } => write!(f, "lw {rd}, {off}({ra})"),
+            Instr::Sw { rs, ra, off } => write!(f, "sw {rs}, {off}({ra})"),
+            Instr::Branch { cond, ra, rb, off } => {
+                write!(f, "{} {ra}, {rb}, {off}", cond.mnemonic())
+            }
+            Instr::Jmp { off } => write!(f, "jmp {off}"),
+            Instr::Jal { rd, off } => write!(f, "jal {rd}, {off}"),
+            Instr::Jr { ra } => write!(f, "jr {ra}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Instr) {
+        let word = i.encode().unwrap_or_else(|e| panic!("encode {i}: {e}"));
+        assert!(word <= INSTR_MASK);
+        let back = Instr::decode(word).unwrap_or_else(|e| panic!("decode {i}: {e}"));
+        assert_eq!(back, i, "word {word:#08x}");
+    }
+
+    #[test]
+    fn round_trip_all_families() {
+        round_trip(Instr::Nop);
+        round_trip(Instr::Halt);
+        round_trip(Instr::Sleep);
+        for kind in [SyncKind::Inc, SyncKind::Dec, SyncKind::Nop] {
+            round_trip(Instr::Sync { kind, point: 0 });
+            round_trip(Instr::Sync { kind, point: 4095 });
+        }
+        for op in AluOp::ALL {
+            round_trip(Instr::Alu {
+                op,
+                rd: Reg::R1,
+                ra: Reg::R6,
+                rb: Reg::R3,
+            });
+        }
+        round_trip(Instr::Mov {
+            rd: Reg::R2,
+            ra: Reg::R5,
+        });
+        round_trip(Instr::Abs {
+            rd: Reg::R4,
+            ra: Reg::R4,
+        });
+        for op in AluImmOp::ALL {
+            let imm = if op.is_shift() { 15 } else { 7 };
+            round_trip(Instr::AluImm {
+                op,
+                rd: Reg::R0,
+                ra: Reg::R7,
+                imm,
+            });
+        }
+        round_trip(Instr::addi(Reg::R1, Reg::R1, -2048));
+        round_trip(Instr::Li {
+            rd: Reg::R3,
+            imm: -16384,
+        });
+        round_trip(Instr::Li {
+            rd: Reg::R3,
+            imm: 16383,
+        });
+        round_trip(Instr::Lui {
+            rd: Reg::R3,
+            imm: 0xAB,
+        });
+        round_trip(Instr::lw(Reg::R1, Reg::R2, -7));
+        round_trip(Instr::sw(Reg::R1, Reg::R2, 2047));
+        for cond in BranchCond::ALL {
+            round_trip(Instr::Branch {
+                cond,
+                ra: Reg::R5,
+                rb: Reg::R1,
+                off: -100,
+            });
+        }
+        round_trip(Instr::Jmp { off: -131072 });
+        round_trip(Instr::Jmp { off: 131071 });
+        round_trip(Instr::Jal {
+            rd: Reg::R7,
+            off: 1234,
+        });
+        round_trip(Instr::Jr { ra: Reg::R7 });
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range_fields() {
+        assert!(Instr::addi(Reg::R0, Reg::R0, 2048).encode().is_err());
+        assert!(Instr::addi(Reg::R0, Reg::R0, -2049).encode().is_err());
+        assert!(Instr::Li {
+            rd: Reg::R0,
+            imm: 16384
+        }
+        .encode()
+        .is_err());
+        assert!(Instr::Sync {
+            kind: SyncKind::Inc,
+            point: 4096
+        }
+        .encode()
+        .is_err());
+        assert!(Instr::AluImm {
+            op: AluImmOp::Slli,
+            rd: Reg::R0,
+            ra: Reg::R0,
+            imm: 16
+        }
+        .encode()
+        .is_err());
+        assert!(Instr::Jmp { off: 1 << 17 }.encode().is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_words() {
+        assert!(Instr::decode(0x0100_0000).is_err());
+        // Opcode 0x3F is unassigned.
+        assert!(Instr::decode(0x3Fu32 << 18).is_err());
+        assert!(Instr::decode(0x03u32 << 18).is_err());
+    }
+
+    #[test]
+    fn dest_and_sources_classification() {
+        let i = Instr::add(Reg::R1, Reg::R2, Reg::R3);
+        assert_eq!(i.dest(), Some(Reg::R1));
+        assert_eq!(i.sources(), [Some(Reg::R2), Some(Reg::R3)]);
+
+        let s = Instr::sw(Reg::R4, Reg::R5, 0);
+        assert_eq!(s.dest(), None);
+        assert_eq!(s.sources(), [Some(Reg::R4), Some(Reg::R5)]);
+
+        assert!(Instr::sinc(3).is_sync_ise());
+        assert!(Instr::Sleep.is_sync_ise());
+        assert!(!Instr::Nop.is_sync_ise());
+        assert!(Instr::Jmp { off: 0 }.is_control());
+    }
+
+    #[test]
+    fn branch_cond_eval_signedness() {
+        assert!(BranchCond::Ge.eval(0, 0));
+        assert!(BranchCond::Lt.eval(0x8000, 0)); // -32768 < 0
+        assert!(BranchCond::Geu.eval(0x8000, 0));
+        assert!(BranchCond::Eq.eval(42, 42));
+        assert!(BranchCond::Ne.eval(42, 43));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Instr::add(Reg::R1, Reg::R2, Reg::R3).to_string(), "add r1, r2, r3");
+        assert_eq!(Instr::lw(Reg::R1, Reg::R2, -3).to_string(), "lw r1, -3(r2)");
+        assert_eq!(Instr::sinc(7).to_string(), "sinc 7");
+        assert_eq!(Instr::Sleep.to_string(), "sleep");
+    }
+}

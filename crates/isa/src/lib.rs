@@ -1,0 +1,50 @@
+//! Instruction set and tool-chain for the low-power multi-core WBSN platform.
+//!
+//! This crate provides the software half of the HW/SW synchronization
+//! approach of Braojos et al. (DATE 2014): a 16-bit RISC instruction set
+//! extended with the synchronization instructions `SINC`, `SDEC`, `SNOP`
+//! and `SLEEP`, together with the programming tool-chain the paper's
+//! experimental set-up relies on — a text assembler, a programmatic
+//! program builder, a disassembler, and a linker that places code
+//! sections into instruction-memory banks according to building
+//! directives.
+//!
+//! # Example
+//!
+//! ```
+//! use wbsn_isa::{ProgramBuilder, Reg, Instr};
+//!
+//! # fn main() -> Result<(), wbsn_isa::IsaError> {
+//! let mut b = ProgramBuilder::new();
+//! b.load_const(Reg::R1, 10);
+//! b.label("loop")?;
+//! b.push(Instr::addi(Reg::R1, Reg::R1, -1));
+//! b.bne_to(Reg::R1, Reg::R0, "loop");
+//! b.push(Instr::Halt);
+//! let program = b.assemble()?;
+//! assert_eq!(program.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod builder;
+pub mod disasm;
+pub mod error;
+pub mod image;
+pub mod instr;
+pub mod link;
+pub mod lint;
+pub mod mem;
+pub mod program;
+pub mod reg;
+
+pub use asm::assemble_text;
+pub use builder::ProgramBuilder;
+pub use error::{DecodeError, EncodeError, IsaError, LinkError, ParseAsmError};
+pub use image::ImageFormatError;
+pub use instr::{AluImmOp, AluOp, BranchCond, Instr, SyncKind, MAX_SYNC_POINT};
+pub use link::{DataSegment, LinkedImage, Linker, Section};
+pub use mem::{DM_BANKS, DM_BANK_WORDS, DM_WORDS, IM_BANKS, IM_BANK_WORDS, IM_WORDS};
+pub use program::Program;
+pub use reg::Reg;

@@ -1,0 +1,257 @@
+//! Static checks over assembled programs.
+//!
+//! The tool-chain's last line of defence before load time: catches the
+//! mistakes that are cheap to detect statically and expensive to debug
+//! on the platform — control transfers that leave the section,
+//! synchronization-point literals outside the configured range,
+//! registers read before ever being written, and `SLEEP` in a program
+//! that never registers for any wake-up source.
+
+use std::fmt;
+
+use crate::instr::Instr;
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// One finding of the [`lint`] pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintWarning {
+    /// A branch or jump targets an address outside the program.
+    ControlOutOfRange {
+        /// Program-relative address of the instruction.
+        pc: usize,
+        /// The (program-relative) target it computes.
+        target: i64,
+    },
+    /// A synchronization instruction uses a point beyond the configured
+    /// count.
+    SyncPointOutOfRange {
+        /// Program-relative address of the instruction.
+        pc: usize,
+        /// The out-of-range literal.
+        point: u16,
+    },
+    /// A register is read on the straight-line path from entry before
+    /// any instruction writes it.
+    ReadBeforeWrite {
+        /// Program-relative address of the first offending read.
+        pc: usize,
+        /// The register read.
+        reg: Reg,
+    },
+    /// The program sleeps but never issues `SNOP`/`SINC` and never
+    /// writes the interrupt-subscription register — nothing can ever
+    /// wake it.
+    SleepWithoutWakeSource {
+        /// Program-relative address of the first `SLEEP`.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for LintWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintWarning::ControlOutOfRange { pc, target } => {
+                write!(f, "pc {pc}: control transfer to {target} leaves the program")
+            }
+            LintWarning::SyncPointOutOfRange { pc, point } => {
+                write!(f, "pc {pc}: synchronization point {point} out of range")
+            }
+            LintWarning::ReadBeforeWrite { pc, reg } => {
+                write!(f, "pc {pc}: {reg} read before any write")
+            }
+            LintWarning::SleepWithoutWakeSource { pc } => {
+                write!(f, "pc {pc}: SLEEP but no wake source is ever registered")
+            }
+        }
+    }
+}
+
+/// Configuration of the lint pass.
+#[derive(Debug, Clone, Copy)]
+pub struct LintConfig {
+    /// Number of synchronization points the platform is configured with.
+    pub sync_points: u16,
+    /// Address of the memory-mapped interrupt-subscription register
+    /// (stores through a register are assumed to possibly hit it, so
+    /// only a *complete absence* of stores triggers the sleep warning).
+    pub subscribe_addr: u16,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            sync_points: 16,
+            subscribe_addr: 0x7F20,
+        }
+    }
+}
+
+/// Runs every check over a program and returns the findings in program
+/// order.
+///
+/// These are warnings, not errors: generated code may legitimately
+/// confuse the straight-line read-before-write heuristic, so callers
+/// (like `wbsn-asm --lint`) surface rather than reject.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_isa::{assemble_text, lint};
+///
+/// let p = assemble_text("sinc 99\nhalt\n")?;
+/// let warnings = lint::lint(&p, &lint::LintConfig::default());
+/// assert_eq!(warnings.len(), 1);
+/// # Ok::<(), wbsn_isa::IsaError>(())
+/// ```
+pub fn lint(program: &Program, config: &LintConfig) -> Vec<LintWarning> {
+    let mut warnings = Vec::new();
+    let len = program.len() as i64;
+    let instrs = program.instrs();
+
+    // Pass 1: per-instruction range checks.
+    for (pc, instr) in instrs.iter().enumerate() {
+        let target = match *instr {
+            Instr::Branch { off, .. } => Some(pc as i64 + 1 + off as i64),
+            Instr::Jmp { off } => Some(pc as i64 + 1 + off as i64),
+            Instr::Jal { off, .. } => Some(pc as i64 + 1 + off as i64),
+            _ => None,
+        };
+        if let Some(target) = target {
+            if target < 0 || target >= len {
+                warnings.push(LintWarning::ControlOutOfRange { pc, target });
+            }
+        }
+        if let Instr::Sync { point, .. } = *instr {
+            if point >= config.sync_points {
+                warnings.push(LintWarning::SyncPointOutOfRange { pc, point });
+            }
+        }
+    }
+
+    // Pass 2: straight-line read-before-write from the entry, stopping
+    // at the first control transfer (a conservative prefix analysis:
+    // everything it flags really executes on the entry path).
+    let mut written = [false; 8];
+    let mut flagged = [false; 8];
+    for (pc, instr) in instrs.iter().enumerate() {
+        for src in instr.sources().into_iter().flatten() {
+            if !written[src.index()] && !flagged[src.index()] {
+                flagged[src.index()] = true;
+                warnings.push(LintWarning::ReadBeforeWrite { pc, reg: src });
+            }
+        }
+        if let Some(dest) = instr.dest() {
+            written[dest.index()] = true;
+        }
+        if instr.is_control() || matches!(instr, Instr::Halt | Instr::Sleep) {
+            break;
+        }
+    }
+
+    // Pass 3: SLEEP reachability of a wake source.
+    let first_sleep = instrs.iter().position(|i| matches!(i, Instr::Sleep));
+    if let Some(pc) = first_sleep {
+        let registers_point = instrs.iter().any(|i| {
+            matches!(
+                i,
+                Instr::Sync {
+                    kind: crate::instr::SyncKind::Nop | crate::instr::SyncKind::Inc,
+                    ..
+                }
+            )
+        });
+        let stores_anywhere = instrs.iter().any(|i| matches!(i, Instr::Sw { .. }));
+        if !registers_point && !stores_anywhere {
+            warnings.push(LintWarning::SleepWithoutWakeSource { pc });
+        }
+    }
+
+    warnings.sort_by_key(|w| match w {
+        LintWarning::ControlOutOfRange { pc, .. }
+        | LintWarning::SyncPointOutOfRange { pc, .. }
+        | LintWarning::ReadBeforeWrite { pc, .. }
+        | LintWarning::SleepWithoutWakeSource { pc } => *pc,
+    });
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble_text;
+
+    fn check(src: &str) -> Vec<LintWarning> {
+        lint(&assemble_text(src).expect("assembles"), &LintConfig::default())
+    }
+
+    #[test]
+    fn clean_program_has_no_warnings() {
+        let w = check(
+            "li r1, 3\nloop: addi r1, r1, -1\nbne r1, r0, loop\nsinc 0\nsdec 0\nhalt\n",
+        );
+        // r0 is read before write (the zero-register convention), which
+        // the heuristic intentionally reports for hand-written sources
+        // that forgot the prologue.
+        assert_eq!(w.len(), 1);
+        assert!(matches!(
+            w[0],
+            LintWarning::ReadBeforeWrite { reg: Reg::R0, .. }
+        ));
+    }
+
+    #[test]
+    fn detects_out_of_range_control() {
+        let w = check("jmp 100\nhalt\n");
+        assert!(w
+            .iter()
+            .any(|w| matches!(w, LintWarning::ControlOutOfRange { pc: 0, target: 101 })));
+        let w = check("beq r0, r0, -5\nhalt\n");
+        assert!(w
+            .iter()
+            .any(|w| matches!(w, LintWarning::ControlOutOfRange { .. })));
+    }
+
+    #[test]
+    fn detects_out_of_range_sync_points() {
+        let w = check("sinc 16\nhalt\n");
+        assert!(w
+            .iter()
+            .any(|w| matches!(w, LintWarning::SyncPointOutOfRange { point: 16, .. })));
+        // In range is fine.
+        let w = check("li r0, 0\nsinc 15\nhalt\n");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn detects_read_before_write_on_the_entry_path() {
+        let w = check("add r3, r1, r2\nhalt\n");
+        let regs: Vec<Reg> = w
+            .iter()
+            .filter_map(|w| match w {
+                LintWarning::ReadBeforeWrite { reg, .. } => Some(*reg),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(regs, vec![Reg::R1, Reg::R2]);
+    }
+
+    #[test]
+    fn detects_unwakeable_sleep() {
+        let w = check("li r0, 0\nsleep\nhalt\n");
+        assert!(w
+            .iter()
+            .any(|w| matches!(w, LintWarning::SleepWithoutWakeSource { pc: 1 })));
+        // A SNOP or any store (potential subscription) silences it.
+        let w = check("li r0, 0\nsnop 0\nsleep\nhalt\n");
+        assert!(w.is_empty());
+        let w = check("li r0, 0\nli r1, 1\nsw r1, 0x40(r0)\nsleep\nhalt\n");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn warnings_display_with_pcs() {
+        let w = check("sinc 99\nhalt\n");
+        assert!(w[0].to_string().contains("pc 0"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Architectural memory-geometry constants of the target platform.
+//!
+//! These mirror the experimental set-up of the paper (§IV-B): a 96 KByte
+//! instruction memory organised as 32 KWords of 24 bits split into 8
+//! banks, and a 64 KByte data memory organised as 32 KWords of 16 bits
+//! split into 16 banks.
+
+/// Total instruction-memory size in 24-bit words.
+pub const IM_WORDS: usize = 32 * 1024;
+
+/// Number of independently powered instruction-memory banks.
+pub const IM_BANKS: usize = 8;
+
+/// Words per instruction-memory bank.
+pub const IM_BANK_WORDS: usize = IM_WORDS / IM_BANKS;
+
+/// Total data-memory size in 16-bit words.
+pub const DM_WORDS: usize = 32 * 1024;
+
+/// Number of independently powered data-memory banks.
+pub const DM_BANKS: usize = 16;
+
+/// Words per data-memory bank.
+pub const DM_BANK_WORDS: usize = DM_WORDS / DM_BANKS;
+
+/// Width of an instruction word in bits.
+pub const INSTR_BITS: u32 = 24;
+
+/// Mask selecting the 24 valid bits of an encoded instruction.
+pub const INSTR_MASK: u32 = (1 << INSTR_BITS) - 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_paper() {
+        // 96 KB of 24-bit words and 64 KB of 16-bit words.
+        assert_eq!(IM_WORDS * 3, 96 * 1024);
+        assert_eq!(DM_WORDS * 2, 64 * 1024);
+        assert_eq!(IM_BANK_WORDS * IM_BANKS, IM_WORDS);
+        assert_eq!(DM_BANK_WORDS * DM_BANKS, DM_WORDS);
+    }
+}

@@ -1,0 +1,155 @@
+//! Assembled programs: ordered instruction lists with label metadata.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::EncodeError;
+use crate::instr::Instr;
+
+/// An assembled, position-independent program: a flat list of
+/// instructions plus the labels that were defined while building it.
+///
+/// Programs are produced by [`crate::ProgramBuilder::assemble`] or
+/// [`crate::asm::assemble_text`] and consumed by the
+/// [linker](crate::link::Linker), which places them into instruction-memory
+/// banks.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_isa::{Instr, Program};
+///
+/// let p = Program::from_instrs(vec![Instr::Nop, Instr::Halt]);
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.words()?.len(), 2);
+/// # Ok::<(), wbsn_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    labels: BTreeMap<String, usize>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Creates a program from a plain instruction list without labels.
+    pub fn from_instrs(instrs: Vec<Instr>) -> Program {
+        Program {
+            instrs,
+            labels: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn with_labels(instrs: Vec<Instr>, labels: BTreeMap<String, usize>) -> Program {
+        Program { instrs, labels }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instructions in program order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Program-relative address of a label, if defined.
+    pub fn label(&self, name: &str) -> Option<usize> {
+        self.labels.get(name).copied()
+    }
+
+    /// All labels with their program-relative addresses.
+    pub fn labels(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.labels.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of synchronization-ISE instructions (`SINC`/`SDEC`/`SNOP`/
+    /// `SLEEP`) in the program — the numerator of Table I's code overhead.
+    pub fn sync_instr_count(&self) -> usize {
+        self.instrs.iter().filter(|i| i.is_sync_ise()).count()
+    }
+
+    /// Encodes every instruction into its 24-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EncodeError`] encountered.
+    pub fn words(&self) -> Result<Vec<u32>, EncodeError> {
+        self.instrs.iter().map(Instr::encode).collect()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut by_addr: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+        for (name, addr) in &self.labels {
+            by_addr.entry(*addr).or_default().push(name);
+        }
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            if let Some(names) = by_addr.get(&pc) {
+                for name in names {
+                    writeln!(f, "{name}:")?;
+                }
+            }
+            writeln!(f, "    {instr}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Instr> for Program {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
+        Program::from_instrs(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Instr> for Program {
+    fn extend<T: IntoIterator<Item = Instr>>(&mut self, iter: T) {
+        self.instrs.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn counts_sync_instructions() {
+        let p = Program::from_instrs(vec![
+            Instr::sinc(0),
+            Instr::add(Reg::R1, Reg::R1, Reg::R1),
+            Instr::Sleep,
+            Instr::sdec(0),
+            Instr::Halt,
+        ]);
+        assert_eq!(p.sync_instr_count(), 3);
+    }
+
+    #[test]
+    fn display_includes_labels() {
+        let mut labels = BTreeMap::new();
+        labels.insert("start".to_string(), 0);
+        let p = Program::with_labels(vec![Instr::Nop, Instr::Halt], labels);
+        let text = p.to_string();
+        assert!(text.contains("start:"));
+        assert!(text.contains("nop"));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut p: Program = [Instr::Nop].into_iter().collect();
+        p.extend([Instr::Halt]);
+        assert_eq!(p.len(), 2);
+    }
+}

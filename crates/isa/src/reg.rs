@@ -1,0 +1,148 @@
+//! General-purpose register names of the 16-bit WBSN core.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseAsmError;
+
+/// One of the eight 16-bit general-purpose registers of a WBSN core.
+///
+/// The architecture does not hard-wire any register to zero; by software
+/// convention [`Reg::R0`] is kept at zero by the generated kernels and
+/// [`Reg::R7`] is the link register used by `JAL`/`JR` call sequences.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_isa::Reg;
+///
+/// assert_eq!(Reg::R3.index(), 3);
+/// assert_eq!("r3".parse::<Reg>().ok(), Some(Reg::R3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// Register 0 (zero by software convention).
+    R0 = 0,
+    /// Register 1.
+    R1 = 1,
+    /// Register 2.
+    R2 = 2,
+    /// Register 3.
+    R3 = 3,
+    /// Register 4.
+    R4 = 4,
+    /// Register 5.
+    R5 = 5,
+    /// Register 6.
+    R6 = 6,
+    /// Register 7 (link register by software convention).
+    R7 = 7,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 8] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    ];
+
+    /// The link register used by the call/return convention.
+    pub const LINK: Reg = Reg::R7;
+
+    /// Returns the register's index in `0..8`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Returns the register with the given index.
+    ///
+    /// Returns `None` if `index >= 8`.
+    #[inline]
+    pub const fn from_index(index: usize) -> Option<Reg> {
+        match index {
+            0 => Some(Reg::R0),
+            1 => Some(Reg::R1),
+            2 => Some(Reg::R2),
+            3 => Some(Reg::R3),
+            4 => Some(Reg::R4),
+            5 => Some(Reg::R5),
+            6 => Some(Reg::R6),
+            7 => Some(Reg::R7),
+            _ => None,
+        }
+    }
+
+    /// Returns the register encoded by the low three bits of `bits`.
+    #[inline]
+    pub(crate) const fn from_bits3(bits: u32) -> Reg {
+        match bits & 0x7 {
+            0 => Reg::R0,
+            1 => Reg::R1,
+            2 => Reg::R2,
+            3 => Reg::R3,
+            4 => Reg::R4,
+            5 => Reg::R5,
+            6 => Reg::R6,
+            _ => Reg::R7,
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+impl FromStr for Reg {
+    type Err = ParseAsmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        let rest = lower
+            .strip_prefix('r')
+            .ok_or_else(|| ParseAsmError::bad_register(s))?;
+        let index: usize = rest
+            .parse()
+            .map_err(|_| ParseAsmError::bad_register(s))?;
+        Reg::from_index(index).ok_or_else(|| ParseAsmError::bad_register(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), Some(*r));
+        }
+        assert_eq!(Reg::from_index(8), None);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        for r in Reg::ALL {
+            let text = r.to_string();
+            assert_eq!(text.parse::<Reg>().ok(), Some(r));
+        }
+        assert!("r8".parse::<Reg>().is_err());
+        assert!("x1".parse::<Reg>().is_err());
+        assert!("r".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!("R5".parse::<Reg>().ok(), Some(Reg::R5));
+    }
+}

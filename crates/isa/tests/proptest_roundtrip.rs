@@ -1,0 +1,102 @@
+//! Property tests: encoding, decoding, printing and re-assembling are
+//! mutually inverse wherever they are defined.
+
+use proptest::prelude::*;
+use wbsn_isa::{asm, AluImmOp, AluOp, BranchCond, Instr, Reg, SyncKind};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0usize..8).prop_map(|i| Reg::from_index(i).expect("index in range"))
+}
+
+fn any_instr() -> impl Strategy<Value = Instr> {
+    let alu = (0usize..AluOp::ALL.len(), any_reg(), any_reg(), any_reg()).prop_map(
+        |(op, rd, ra, rb)| Instr::Alu {
+            op: AluOp::ALL[op],
+            rd,
+            ra,
+            rb,
+        },
+    );
+    let alui = (0usize..AluImmOp::ALL.len(), any_reg(), any_reg(), -2048i16..=2047).prop_map(
+        |(op, rd, ra, imm)| {
+            let op = AluImmOp::ALL[op];
+            let imm = if op.is_shift() {
+                imm.rem_euclid(16)
+            } else if op == AluImmOp::Addi {
+                imm
+            } else {
+                imm.rem_euclid(4096)
+            };
+            Instr::AluImm { op, rd, ra, imm }
+        },
+    );
+    let branch = (0usize..6, any_reg(), any_reg(), -2048i16..=2047).prop_map(
+        |(c, ra, rb, off)| Instr::Branch {
+            cond: BranchCond::ALL[c],
+            ra,
+            rb,
+            off,
+        },
+    );
+    let sync = (prop_oneof![Just(SyncKind::Inc), Just(SyncKind::Dec), Just(SyncKind::Nop)],
+        0u16..4096)
+        .prop_map(|(kind, point)| Instr::Sync { kind, point });
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        Just(Instr::Sleep),
+        sync,
+        alu,
+        alui,
+        (any_reg(), any_reg()).prop_map(|(rd, ra)| Instr::Mov { rd, ra }),
+        (any_reg(), any_reg()).prop_map(|(rd, ra)| Instr::Abs { rd, ra }),
+        (any_reg(), -16384i16..=16383).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
+        (any_reg(), any::<u8>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (any_reg(), any_reg(), -2048i16..=2047).prop_map(|(rd, ra, off)| Instr::Lw {
+            rd,
+            ra,
+            off
+        }),
+        (any_reg(), any_reg(), -2048i16..=2047).prop_map(|(rs, ra, off)| Instr::Sw {
+            rs,
+            ra,
+            off
+        }),
+        branch,
+        (-131072i32..=131071).prop_map(|off| Instr::Jmp { off }),
+        (any_reg(), -16384i16..=16383).prop_map(|(rd, off)| Instr::Jal { rd, off }),
+        any_reg().prop_map(|ra| Instr::Jr { ra }),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity for every well-formed instruction.
+    #[test]
+    fn encode_decode_round_trip(instr in any_instr()) {
+        let word = instr.encode().expect("generated instruction is encodable");
+        prop_assert!(word < (1 << 24));
+        prop_assert_eq!(Instr::decode(word).expect("valid word decodes"), instr);
+    }
+
+    /// Display → text assembler reproduces the instruction, except for
+    /// pseudo-target instructions the assembler spells differently.
+    #[test]
+    fn display_assemble_round_trip(instr in any_instr()) {
+        let text = instr.to_string();
+        let program = asm::assemble_text(&text).expect("printed form assembles");
+        prop_assert_eq!(program.instrs(), &[instr]);
+    }
+
+    /// decode never panics on arbitrary 24-bit words; when it succeeds the
+    /// result re-encodes to the same word.
+    #[test]
+    fn decode_total_and_faithful(word in 0u32..(1 << 24)) {
+        if let Ok(instr) = Instr::decode(word) {
+            let back = instr.encode().expect("decoded instruction re-encodes");
+            // Unused bits are zero in canonical encodings; decode only
+            // accepts canonical opcodes but may ignore don't-care fields.
+            let canonical = Instr::decode(back).expect("canonical word decodes");
+            prop_assert_eq!(canonical, instr);
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Code-emission helpers shared by the benchmark generators.
+//!
+//! [`Emit`] wraps a [`ProgramBuilder`] with unique-label generation and
+//! the recurring code shapes of the kernels: ring-buffered morphological
+//! stages, ADC register access, ring stores and synchronization-point
+//! pairs.
+//!
+//! Register conventions inside generated kernels:
+//!
+//! * `r0` — always zero (initialised once, never written again),
+//! * `r6` — the core's private-section base address,
+//! * `r1..r5`, `r7` — scratch (no subroutines are generated, so the link
+//!   register is free).
+
+use wbsn_isa::{AluImmOp, AluOp, BranchCond, Instr, IsaError, Program, ProgramBuilder, Reg};
+use wbsn_sim::mmio::{ADC_DATA_BASE, ADC_SEQ_BASE, CORE_ID, SYNC_SUBSCRIBE};
+
+/// One morphological stage's parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Stage {
+    /// Private offset of the position word.
+    pub pos_off: i16,
+    /// Private offset of the ring buffer.
+    pub ring_off: i16,
+    /// Window length.
+    pub w: u16,
+    /// `true` for erosion (minimum), `false` for dilation (maximum).
+    pub is_min: bool,
+}
+
+/// Label-generating wrapper over [`ProgramBuilder`].
+#[derive(Debug, Default)]
+pub struct Emit {
+    /// The underlying builder (accessible for ad-hoc instructions).
+    pub b: ProgramBuilder,
+    counter: usize,
+}
+
+impl Emit {
+    /// Creates an empty emitter.
+    pub fn new() -> Emit {
+        Emit::default()
+    }
+
+    /// Returns a fresh unique label with the given prefix.
+    pub fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}_{}", self.counter)
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate labels (generator bug).
+    pub fn label(&mut self, name: &str) {
+        self.b.label(name).expect("generated labels are unique");
+    }
+
+    /// Finalises the program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates label-resolution and encoding errors.
+    pub fn assemble(self) -> Result<Program, IsaError> {
+        self.b.assemble()
+    }
+
+    /// Emits the common prologue: `r0 = 0`, `r6 = private base`.
+    pub fn prologue(&mut self, private_base: u32) {
+        self.b.load_const(Reg::R0, 0);
+        self.b.load_const(Reg::R6, private_base as u16);
+    }
+
+    /// Subscribes the issuing core to the interrupt sources in `mask`
+    /// (clobbers `r1`, `r2`).
+    pub fn subscribe(&mut self, mask: u16) {
+        self.b.load_const(Reg::R2, SYNC_SUBSCRIBE as u16);
+        self.b.load_const(Reg::R1, mask);
+        self.b.push(Instr::sw(Reg::R1, Reg::R2, 0));
+    }
+
+    /// Loads ADC channel `ch`'s sequence register into `rd`
+    /// (clobbers `rd` and `r2`).
+    pub fn read_adc_seq(&mut self, rd: Reg, ch: usize) {
+        self.b
+            .load_const(Reg::R2, (ADC_SEQ_BASE + ch as u32) as u16);
+        self.b.push(Instr::lw(rd, Reg::R2, 0));
+    }
+
+    /// Loads ADC channel `ch`'s data register into `rd`
+    /// (clobbers `rd` and `r2`).
+    pub fn read_adc_data(&mut self, rd: Reg, ch: usize) {
+        self.b
+            .load_const(Reg::R2, (ADC_DATA_BASE + ch as u32) as u16);
+        self.b.push(Instr::lw(rd, Reg::R2, 0));
+    }
+
+    /// Emits one morphological min/max stage: consumes the sample in
+    /// `r1`, leaves the stage output in `r1`. Clobbers `r2..r5`.
+    ///
+    /// This is the exact streaming algorithm of
+    /// `wbsn_dsp::morphology::{Erosion, Dilation}`: store into the ring,
+    /// advance the position modulo `w`, then scan the ring.
+    pub fn morph_stage(&mut self, stage: Stage) {
+        let nowrap = self.fresh("nowrap");
+        let scan = self.fresh("scan");
+        let b = &mut self.b;
+        // ring[pos] = x; pos = (pos + 1) % w
+        b.push(Instr::lw(Reg::R2, Reg::R6, stage.pos_off));
+        b.push(Instr::addi(Reg::R3, Reg::R2, stage.ring_off));
+        b.push(Instr::add(Reg::R3, Reg::R3, Reg::R6));
+        b.push(Instr::sw(Reg::R1, Reg::R3, 0));
+        b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+        b.load_const(Reg::R4, stage.w);
+        b.bne_to(Reg::R2, Reg::R4, &nowrap);
+        b.load_const(Reg::R2, 0);
+        self.label(&nowrap);
+        let b = &mut self.b;
+        b.push(Instr::sw(Reg::R2, Reg::R6, stage.pos_off));
+        // acc = scan(ring)
+        b.load_const(Reg::R3, stage.w);
+        b.load_const(
+            Reg::R5,
+            if stage.is_min { i16::MAX as u16 } else { i16::MIN as u16 },
+        );
+        b.push(Instr::addi(Reg::R4, Reg::R6, stage.ring_off));
+        self.label(&scan);
+        let b = &mut self.b;
+        b.push(Instr::lw(Reg::R2, Reg::R4, 0));
+        b.push(Instr::Alu {
+            op: if stage.is_min { AluOp::Min } else { AluOp::Max },
+            rd: Reg::R5,
+            ra: Reg::R5,
+            rb: Reg::R2,
+        });
+        b.push(Instr::addi(Reg::R4, Reg::R4, 1));
+        b.push(Instr::addi(Reg::R3, Reg::R3, -1));
+        b.bne_to(Reg::R3, Reg::R0, &scan);
+        b.push(Instr::Mov {
+            rd: Reg::R1,
+            ra: Reg::R5,
+        });
+    }
+
+    /// Emits the full 8-stage conditioning filter: baseline correction
+    /// (`x1 = x - close(open(x))`) followed by noise suppression
+    /// (`y = (open_s(x1) + close_s(x1)) >> 1`). Sample in `r1`, filtered
+    /// value out in `r1`. Uses the three private scratch words of
+    /// `scratch`. Clobbers `r2..r5`.
+    ///
+    /// Mirrors `wbsn_dsp::morphology::MorphFilter::push` exactly.
+    pub fn morph_filter(&mut self, stages: &[Stage; 8], scratch: [i16; 3]) {
+        let [sx, sx1, sns] = scratch;
+        // Baseline correction.
+        self.b.push(Instr::sw(Reg::R1, Reg::R6, sx)); // x
+        for stage in &stages[..4] {
+            self.morph_stage(*stage);
+        }
+        self.b.push(Instr::lw(Reg::R2, Reg::R6, sx));
+        self.b.push(Instr::sub(Reg::R1, Reg::R2, Reg::R1)); // x1 = x - baseline
+        // Noise suppression: average of small opening and closing.
+        self.b.push(Instr::sw(Reg::R1, Reg::R6, sx1));
+        self.morph_stage(stages[4]);
+        self.morph_stage(stages[5]);
+        self.b.push(Instr::sw(Reg::R1, Reg::R6, sns)); // ns_open
+        self.b.push(Instr::lw(Reg::R1, Reg::R6, sx1));
+        self.morph_stage(stages[6]);
+        self.morph_stage(stages[7]);
+        let b = &mut self.b;
+        b.push(Instr::lw(Reg::R2, Reg::R6, sns));
+        b.push(Instr::add(Reg::R1, Reg::R1, Reg::R2));
+        b.push(Instr::srai(Reg::R1, Reg::R1, 1));
+    }
+
+    /// Stores `r1` into the shared ring at `ring_base` using the counter
+    /// word at shared `count_addr`: `ring[count & mask] = r1; count += 1`.
+    ///
+    /// The value is written *before* the counter is published so that a
+    /// concurrently woken consumer never observes a counter covering an
+    /// unwritten slot. Clobbers `r2`, `r3`.
+    pub fn ring_store(&mut self, ring_base: u32, mask: u16, count_addr: u32) {
+        let b = &mut self.b;
+        b.load_const(Reg::R3, count_addr as u16);
+        b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+        b.push(Instr::AluImm {
+            op: AluImmOp::Andi,
+            rd: Reg::R2,
+            ra: Reg::R2,
+            imm: mask as i16,
+        });
+        b.load_const(Reg::R3, ring_base as u16);
+        b.push(Instr::add(Reg::R3, Reg::R3, Reg::R2));
+        b.push(Instr::sw(Reg::R1, Reg::R3, 0)); // value first
+        b.load_const(Reg::R3, count_addr as u16);
+        b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+        b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+        b.push(Instr::sw(Reg::R2, Reg::R3, 0)); // then publish
+    }
+
+    /// Loads `ring[index_reg & mask]` from the shared ring at `ring_base`
+    /// into `rd`. `index_reg` must not be `r2`/`r3`. Clobbers `r2`, `r3`.
+    pub fn ring_load(&mut self, rd: Reg, ring_base: u32, mask: u16, index_reg: Reg) {
+        let b = &mut self.b;
+        b.push(Instr::AluImm {
+            op: AluImmOp::Andi,
+            rd: Reg::R2,
+            ra: index_reg,
+            imm: mask as i16,
+        });
+        b.load_const(Reg::R3, ring_base as u16);
+        b.push(Instr::add(Reg::R3, Reg::R3, Reg::R2));
+        b.push(Instr::lw(rd, Reg::R3, 0));
+    }
+
+    /// Emits a conditional branch to a label on `cond(ra, rb)`.
+    pub fn branch(&mut self, cond: BranchCond, ra: Reg, rb: Reg, label: &str) {
+        self.b.branch_to(cond, ra, rb, label);
+    }
+
+    /// Emits the lock-step-group start-up sequence: derive the lead
+    /// index from the `CORE_ID` register
+    /// (`lead = core_id - first_core + lead_base`) and precompute the
+    /// per-lead pointers into the private words of `ptrs`, optionally
+    /// subscribing to the lead's ADC interrupt.
+    ///
+    /// Every member of the group executes this *identical* code; only
+    /// the computed private values differ, which is what lets the whole
+    /// group share one instruction bank and broadcast its fetches.
+    /// Clobbers `r2`, `r3`, `r5`.
+    pub fn lead_init(&mut self, first_core: u16, lead_base: u16, ptrs: &LeadPtrs, subscribe: bool) {
+        let b = &mut self.b;
+        b.load_const(Reg::R2, CORE_ID as u16);
+        b.push(Instr::lw(Reg::R5, Reg::R2, 0));
+        let delta = lead_base as i16 - first_core as i16;
+        if delta != 0 {
+            b.push(Instr::addi(Reg::R5, Reg::R5, delta));
+        }
+        // &ADC_SEQ[lead], &ADC_DATA[lead]
+        b.load_const(Reg::R2, ADC_SEQ_BASE as u16);
+        b.push(Instr::add(Reg::R2, Reg::R2, Reg::R5));
+        b.push(Instr::sw(Reg::R2, Reg::R6, ptrs.seq_addr));
+        b.load_const(Reg::R2, ADC_DATA_BASE as u16);
+        b.push(Instr::add(Reg::R2, Reg::R2, Reg::R5));
+        b.push(Instr::sw(Reg::R2, Reg::R6, ptrs.data_addr));
+        // &count[lead]
+        b.load_const(Reg::R2, crate::layout::LEAD_COUNT_BASE as u16);
+        b.push(Instr::add(Reg::R2, Reg::R2, Reg::R5));
+        b.push(Instr::sw(Reg::R2, Reg::R6, ptrs.count_addr));
+        // ring base = OUT_RING_BASE * (lead + 1)
+        b.load_const(Reg::R2, crate::layout::OUT_RING_BASE as u16);
+        b.push(Instr::addi(Reg::R3, Reg::R5, 1));
+        b.push(Instr::Alu {
+            op: AluOp::Mul,
+            rd: Reg::R2,
+            ra: Reg::R2,
+            rb: Reg::R3,
+        });
+        b.push(Instr::sw(Reg::R2, Reg::R6, ptrs.ring_base));
+        if subscribe {
+            b.load_const(Reg::R2, 1);
+            b.push(Instr::Alu {
+                op: AluOp::Sll,
+                rd: Reg::R2,
+                ra: Reg::R2,
+                rb: Reg::R5,
+            });
+            b.load_const(Reg::R3, SYNC_SUBSCRIBE as u16);
+            b.push(Instr::sw(Reg::R2, Reg::R3, 0));
+        }
+    }
+
+    /// Loads the lead's ADC sequence register through the precomputed
+    /// pointer. Clobbers `rd`, `r2`.
+    pub fn read_adc_seq_ind(&mut self, rd: Reg, ptrs: &LeadPtrs) {
+        self.b.push(Instr::lw(Reg::R2, Reg::R6, ptrs.seq_addr));
+        self.b.push(Instr::lw(rd, Reg::R2, 0));
+    }
+
+    /// Loads the lead's ADC data register through the precomputed
+    /// pointer. Clobbers `rd`, `r2`.
+    pub fn read_adc_data_ind(&mut self, rd: Reg, ptrs: &LeadPtrs) {
+        self.b.push(Instr::lw(Reg::R2, Reg::R6, ptrs.data_addr));
+        self.b.push(Instr::lw(rd, Reg::R2, 0));
+    }
+
+    /// Stores `r1` into the lead's output ring through the precomputed
+    /// pointers: `ring[count & mask] = r1; count += 1`. The value is
+    /// written before the counter is published (see
+    /// [`Emit::ring_store`]). Clobbers `r2`, `r3`, `r4`.
+    pub fn ring_store_ind(&mut self, ptrs: &LeadPtrs, mask: u16) {
+        let b = &mut self.b;
+        b.push(Instr::lw(Reg::R3, Reg::R6, ptrs.count_addr));
+        b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+        b.push(Instr::AluImm {
+            op: AluImmOp::Andi,
+            rd: Reg::R2,
+            ra: Reg::R2,
+            imm: mask as i16,
+        });
+        b.push(Instr::lw(Reg::R3, Reg::R6, ptrs.ring_base));
+        b.push(Instr::add(Reg::R3, Reg::R3, Reg::R2));
+        b.push(Instr::sw(Reg::R1, Reg::R3, 0)); // value first
+        b.push(Instr::lw(Reg::R3, Reg::R6, ptrs.count_addr));
+        b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+        b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+        b.push(Instr::sw(Reg::R2, Reg::R3, 0)); // then publish
+    }
+}
+
+/// Private-word offsets of a lead-parameterized phase's precomputed
+/// pointers (filled in by [`Emit::lead_init`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LeadPtrs {
+    /// Private offset holding `&ADC_SEQ[lead]`.
+    pub seq_addr: i16,
+    /// Private offset holding `&ADC_DATA[lead]`.
+    pub data_addr: i16,
+    /// Private offset holding the lead's output-ring base.
+    pub ring_base: i16,
+    /// Private offset holding `&count[lead]`.
+    pub count_addr: i16,
+}
+
+impl LeadPtrs {
+    /// Allocates the four pointer words.
+    pub fn alloc(a: &mut crate::layout::PrivAlloc) -> LeadPtrs {
+        LeadPtrs {
+            seq_addr: a.alloc(1),
+            data_addr: a.alloc(1),
+            ring_base: a.alloc(1),
+            count_addr: a.alloc(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_isa::{Linker, Section};
+    use wbsn_sim::{Platform, PlatformConfig, RunExit};
+
+    /// Runs a generated snippet on the single-core platform.
+    fn run(emit: Emit) -> Platform {
+        let program = emit.assemble().expect("snippet assembles");
+        let mut linker = Linker::new();
+        linker.add_section(Section::new("main", program));
+        linker.set_entry(0, "main");
+        let image = linker.link().expect("snippet links");
+        let mut config = PlatformConfig::single_core();
+        config.shared_words = crate::layout::SHARED_WORDS;
+        let mut p = Platform::new(config, &image).expect("platform builds");
+        assert_eq!(p.run(1_000_000).expect("runs"), RunExit::AllHalted);
+        p
+    }
+
+    #[test]
+    fn morph_stage_matches_golden_erosion() {
+        use wbsn_dsp::morphology::Erosion;
+        // Push a fixed sequence through one generated erosion stage,
+        // storing each output to shared memory.
+        let inputs: [i16; 10] = [5, 3, 8, -2, 7, 7, 0, -9, 4, 1];
+        let stage = Stage {
+            pos_off: 0x10,
+            ring_off: 0x20,
+            w: 3,
+            is_min: true,
+        };
+        let mut e = Emit::new();
+        e.prologue(crate::layout::SHARED_WORDS);
+        for (i, &x) in inputs.iter().enumerate() {
+            e.b.load_const_i16(Reg::R1, x);
+            e.morph_stage(stage);
+            e.b.load_const(Reg::R3, 0x400 + i as u16);
+            e.b.push(Instr::sw(Reg::R1, Reg::R3, 0));
+        }
+        e.b.push(Instr::Halt);
+        let p = run(e);
+
+        let mut golden = Erosion::new(3);
+        for (i, &x) in inputs.iter().enumerate() {
+            let expected = golden.push(x);
+            let got = p.peek_dm(0x400 + i as u32).unwrap() as i16;
+            assert_eq!(got, expected, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn morph_filter_matches_golden_filter() {
+        use crate::layout::PrivAlloc;
+        use crate::phases::alloc_filter_stages;
+        use wbsn_dsp::morphology::MorphFilter;
+        // Fully unrolled (one 8-stage filter emission per sample), so
+        // keep the input short enough to fit the instruction memory.
+        let inputs: Vec<i16> = (0..14).map(|i| (i * 13 % 47 - 20) as i16).collect();
+        let mut a = PrivAlloc::new();
+        let scratch = [a.alloc(1), a.alloc(1), a.alloc(1)];
+        let stages = alloc_filter_stages(&mut a, 4, 6, 2);
+        let mut e = Emit::new();
+        e.prologue(crate::layout::SHARED_WORDS);
+        for (i, &x) in inputs.iter().enumerate() {
+            e.b.load_const_i16(Reg::R1, x);
+            e.morph_filter(&stages, scratch);
+            e.b.load_const(Reg::R3, 0x400 + i as u16);
+            e.b.push(Instr::sw(Reg::R1, Reg::R3, 0));
+        }
+        e.b.push(Instr::Halt);
+        let p = run(e);
+
+        let mut golden = MorphFilter::new(4, 6, 2);
+        for (i, &x) in inputs.iter().enumerate() {
+            let expected = golden.push(x);
+            let got = p.peek_dm(0x400 + i as u32).unwrap() as i16;
+            assert_eq!(got, expected, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn ring_store_and_load_round_trip() {
+        let mut e = Emit::new();
+        e.prologue(crate::layout::SHARED_WORDS);
+        // Store 5 values into a ring of 4: the last 4 survive.
+        for v in [10i16, 20, 30, 40, 50] {
+            e.b.load_const_i16(Reg::R1, v);
+            e.ring_store(0x500, 3, 0x30);
+        }
+        // Load index 4 (= slot 0, holding 50) into r1 and park it.
+        e.b.load_const(Reg::R5, 4);
+        e.ring_load(Reg::R1, 0x500, 3, Reg::R5);
+        e.b.load_const(Reg::R3, 0x600);
+        e.b.push(Instr::sw(Reg::R1, Reg::R3, 0));
+        e.b.push(Instr::Halt);
+        let p = run(e);
+        assert_eq!(p.peek_dm(0x30).unwrap(), 5, "count");
+        assert_eq!(p.peek_dm(0x500).unwrap(), 50, "slot 0 overwritten");
+        assert_eq!(p.peek_dm(0x501).unwrap(), 20);
+        assert_eq!(p.peek_dm(0x600).unwrap(), 50, "ring_load");
+    }
+
+    #[test]
+    fn fresh_labels_are_unique() {
+        let mut e = Emit::new();
+        let a = e.fresh("x");
+        let b = e.fresh("x");
+        assert_ne!(a, b);
+    }
+}

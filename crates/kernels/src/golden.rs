@@ -1,0 +1,203 @@
+//! Golden reference pipelines: the benchmark data paths computed in
+//! plain Rust over the same fixed-point operations as the generated
+//! kernels, for bit-exact validation of simulator runs.
+
+use wbsn_dsp::ecg::EcgRecording;
+use wbsn_dsp::mmd::{CombinedLead, FiducialPoint, MmdDelineator};
+use wbsn_dsp::morphology::MorphFilter;
+use wbsn_dsp::rproj::{BeatLabel, RpClassifier};
+
+use crate::layout;
+
+/// The conditioned (filtered) leads — the output of 3L-MF.
+pub fn golden_filtered(recording: &EcgRecording) -> Vec<Vec<i16>> {
+    recording
+        .leads
+        .iter()
+        .map(|lead| {
+            MorphFilter::new(
+                layout::MF_OPEN_W as usize,
+                layout::MF_CLOSE_W as usize,
+                layout::MF_NOISE_W as usize,
+            )
+                .filter(lead)
+        })
+        .collect()
+}
+
+/// The combined stream of 3L-MMD: per-sample scaled absolute sum of the
+/// filtered leads.
+pub fn golden_combined(filtered: &[Vec<i16>]) -> Vec<i16> {
+    let n = filtered.iter().map(Vec::len).min().unwrap_or(0);
+    (0..n)
+        .map(|i| {
+            let samples: Vec<i16> = filtered.iter().map(|lead| lead[i]).collect();
+            CombinedLead::combine(&samples)
+        })
+        .collect()
+}
+
+/// The fiducial points of 3L-MMD's delineation stage.
+pub fn golden_fiducials(combined: &[i16]) -> Vec<FiducialPoint> {
+    MmdDelineator::new(
+        layout::MMD_SMALL_W as usize,
+        layout::MMD_LARGE_W as usize,
+        layout::MMD_THRESHOLD,
+        layout::MMD_REFRACTORY as usize,
+    )
+    .delineate(combined)
+}
+
+/// The RP-CLASS classifier front end: detected beats on the
+/// *conditioned* first lead with their predicted labels,
+/// `(detection index, label)`. Pass the output of
+/// [`golden_filtered`]'s first lead as `cond0`.
+pub fn golden_beats_on(cond0: &[i16], clf: &RpClassifier) -> Vec<(usize, BeatLabel)> {
+    let mut detector = MmdDelineator::new(
+        layout::MMD_SMALL_W as usize,
+        layout::MMD_LARGE_W as usize,
+        layout::DET_THRESHOLD,
+        layout::DET_REFRACTORY as usize,
+    );
+    detector
+        .delineate(cond0)
+        .into_iter()
+        .map(|point| {
+            let w = layout::WINDOW_LEN as usize;
+            let label = if point.sample + 1 >= w {
+                clf.classify_window(&cond0[point.sample + 1 - w..=point.sample])
+            } else {
+                // The kernel's window ring still holds start-up zeros
+                // here; replicate by padding with zeros.
+                let mut window = vec![0i16; w];
+                let available = &cond0[..=point.sample];
+                window[w - available.len()..].copy_from_slice(available);
+                clf.classify_window(&window)
+            };
+            (point.sample, label)
+        })
+        .collect()
+}
+
+/// The RP-CLASS classifier pipeline straight from a recording:
+/// condition lead 0, then detect and classify.
+pub fn golden_beats(recording: &EcgRecording, clf: &RpClassifier) -> Vec<(usize, BeatLabel)> {
+    let cond0 = MorphFilter::new(
+        layout::MF_OPEN_W as usize,
+        layout::MF_CLOSE_W as usize,
+        layout::MF_NOISE_W as usize,
+    )
+    .filter(&recording.leads[0]);
+    golden_beats_on(&cond0, clf)
+}
+
+/// One delineation burst event:
+/// `(onset index, absolute stream index, strength)`.
+pub type BurstEvent = (usize, usize, i16);
+
+/// The RP-CLASS triggered delineation chain: for each pathological beat
+/// the chain conditions the raw leads 1 and 2 over the
+/// `[detection - BURST_LEN + 1, detection]` window (their filter state
+/// sees *only* burst samples, like the triggered kernels), combines with
+/// the continuously conditioned lead 0 and delineates. Returns the
+/// combined samples per absolute index and the fiducial events.
+#[allow(clippy::needless_range_loop)] // three parallel streams share `idx`
+pub fn golden_rp_chain(
+    recording: &EcgRecording,
+    clf: &RpClassifier,
+) -> (Vec<(usize, i16)>, Vec<BurstEvent>) {
+    let cond0 = MorphFilter::new(
+        layout::MF_OPEN_W as usize,
+        layout::MF_CLOSE_W as usize,
+        layout::MF_NOISE_W as usize,
+    )
+    .filter(&recording.leads[0]);
+    let beats = golden_beats_on(&cond0, clf);
+
+    let mut f1 = MorphFilter::new(
+        layout::MF_OPEN_W as usize,
+        layout::MF_CLOSE_W as usize,
+        layout::MF_NOISE_W as usize,
+    );
+    let mut f2 = f1.clone();
+    let mut delineator = MmdDelineator::new(
+        layout::MMD_SMALL_W as usize,
+        layout::MMD_LARGE_W as usize,
+        layout::MMD_THRESHOLD,
+        layout::MMD_REFRACTORY as usize,
+    );
+    let mut combined = Vec::new();
+    let mut events = Vec::new();
+    let burst = layout::BURST_LEN as usize;
+    for (det, label) in beats {
+        if label != BeatLabel::Pathological || det + 1 < burst {
+            continue;
+        }
+        let start = det + 1 - burst;
+        for idx in start..start + burst {
+            let y1 = f1.push(recording.leads[1][idx]);
+            let y2 = f2.push(recording.leads[2][idx]);
+            let c = CombinedLead::combine(&[cond0[idx], y1, y2]);
+            combined.push((idx, c));
+            if let Some(point) = delineator.push(c) {
+                // The kernel's onset is an absolute stream index while
+                // the golden delineator counts pushes; onset and peak
+                // always fall inside one burst (a QRS spans a few
+                // samples), so the distance transfers directly.
+                events.push((
+                    idx - (point.sample - point.onset),
+                    idx,
+                    point.strength,
+                ));
+            }
+        }
+    }
+    (combined, events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::ClassifierParams;
+    use wbsn_dsp::ecg::{synthesize, EcgConfig};
+
+    #[test]
+    fn golden_pipeline_is_consistent() {
+        let rec = synthesize(&EcgConfig::short_test());
+        let filtered = golden_filtered(&rec);
+        assert_eq!(filtered.len(), 3);
+        assert_eq!(filtered[0].len(), rec.leads[0].len());
+        let combined = golden_combined(&filtered);
+        assert_eq!(combined.len(), filtered[0].len());
+        let fiducials = golden_fiducials(&combined);
+        // ~72 bpm over 4 s: a handful of beats, each detected once.
+        assert!(
+            (2..=8).contains(&fiducials.len()),
+            "{} fiducials",
+            fiducials.len()
+        );
+    }
+
+    #[test]
+    fn golden_beats_labels_are_mostly_correct() {
+        let params = ClassifierParams::default_trained();
+        let clf = params.classifier();
+        let rec = synthesize(&EcgConfig {
+            duration_s: 30.0,
+            pathological_fraction: 0.3,
+            seed: 0xFEED,
+            ..EcgConfig::healthy_60s()
+        });
+        let beats = golden_beats(&rec, &clf);
+        assert!(beats.len() > 15, "{} beats detected", beats.len());
+        let pathological = beats
+            .iter()
+            .filter(|(_, l)| *l == BeatLabel::Pathological)
+            .count();
+        let fraction = pathological as f64 / beats.len() as f64;
+        assert!(
+            (0.1..=0.5).contains(&fraction),
+            "pathological fraction {fraction}"
+        );
+    }
+}

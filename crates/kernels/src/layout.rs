@@ -1,0 +1,258 @@
+//! Memory-layout conventions shared by the benchmark kernels and the
+//! harnesses that inspect their outputs.
+//!
+//! All three benchmarks use the same map so that single-core, multi-core,
+//! hardware-synchronized and busy-wait variants can be compared on
+//! identical footprints. Addresses are 16-bit word addresses.
+
+/// Size of the shared data-memory section used by the benchmarks.
+pub const SHARED_WORDS: u32 = 0x1800;
+
+/// First synchronization point address (16 points at `0x10..0x20`).
+pub const SYNC_BASE: u32 = 0x0010;
+
+/// Number of synchronization points configured.
+pub const SYNC_POINTS: usize = 16;
+
+// --- control words (shared) -------------------------------------------
+
+/// Busy-wait / trigger flag: set non-zero by the classifier when a
+/// pathological beat requires delineation.
+pub const TRIG_FLAG: u32 = 0x20;
+
+/// Sample index (low 16 bits) of the triggering beat.
+pub const TRIG_SEQ: u32 = 0x21;
+
+/// Per-lead produced-sample counters: lead `l` at `LEAD_COUNT_BASE + l`.
+pub const LEAD_COUNT_BASE: u32 = 0x30;
+
+/// Combined-stream produced counter (3L-MMD / RP-CLASS chain).
+pub const COMBINED_COUNT: u32 = 0x34;
+
+/// Fiducial-event counter.
+pub const EVENT_COUNT: u32 = 0x35;
+
+/// Total classified beats (RP-CLASS).
+pub const BEAT_COUNT: u32 = 0x36;
+
+/// Pathological beats detected (RP-CLASS).
+pub const PATH_COUNT: u32 = 0x37;
+
+// --- data rings (shared) ----------------------------------------------
+
+/// Fiducial-event ring: `EVENT_RING_LEN` events of four words
+/// (onset, sample index, strength, reserved).
+pub const EVENT_RING: u32 = 0x40;
+
+/// Capacity of the event ring in events.
+pub const EVENT_RING_LEN: u32 = 64;
+
+/// Beat-label ring (RP-CLASS): one word per classified beat
+/// (0 = normal, 1 = pathological).
+pub const LABEL_RING: u32 = 0x140;
+
+/// Capacity of the label ring.
+pub const LABEL_RING_LEN: u32 = 128;
+
+/// Read-only constant area: random-projection rows and centroids.
+pub const CONST_BASE: u32 = 0x200;
+
+/// Per-lead filtered-output ring: lead `l` at `OUT_RING_BASE * (l + 1)`.
+pub const OUT_RING_BASE: u32 = 0x400;
+
+/// Capacity of each output ring in samples (power of two).
+pub const OUT_RING_LEN: u32 = 1024;
+
+/// Combined-stream ring (3L-MMD / RP-CLASS chain).
+pub const COMBINED_RING: u32 = 0x1000;
+
+/// Capacity of the combined ring in samples.
+pub const COMBINED_RING_LEN: u32 = 1024;
+
+/// Address of lead `l`'s output ring.
+pub const fn out_ring(lead: usize) -> u32 {
+    OUT_RING_BASE * (lead as u32 + 1)
+}
+
+// --- private scratch (offsets from the private base register) ----------
+
+/// Generic scratch word available to every phase (never live across the
+/// helper that uses it).
+pub const P_SCRATCH: i16 = 0x00;
+
+/// Sequential allocator for per-phase private state (ring buffers,
+/// counters, scratch), handing out word offsets from the private base
+/// register.
+///
+/// Offsets start above the fixed scratch words and must stay within the
+/// ISA's 12-bit load/store offset so generated code can address them
+/// directly off the base register.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_kernels::layout::PrivAlloc;
+///
+/// let mut a = PrivAlloc::new();
+/// let x = a.alloc(1);
+/// let ring = a.alloc(30);
+/// assert!(ring > x);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrivAlloc {
+    next: i16,
+}
+
+impl Default for PrivAlloc {
+    fn default() -> Self {
+        PrivAlloc::new()
+    }
+}
+
+impl PrivAlloc {
+    /// Largest private offset addressable with the 12-bit immediate.
+    pub const LIMIT: i16 = 2047;
+
+    /// Creates an allocator starting above the fixed scratch words.
+    pub fn new() -> PrivAlloc {
+        PrivAlloc { next: 0x10 }
+    }
+
+    /// Allocates `words` consecutive private words.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the private window or the addressable range is
+    /// exhausted — a generator bug, not a runtime condition.
+    pub fn alloc(&mut self, words: u16) -> i16 {
+        let base = self.next;
+        let end = base as i32 + words as i32;
+        assert!(
+            end <= Self::LIMIT as i32 + 1,
+            "private allocation overflow: {end} words"
+        );
+        self.next = end as i16;
+        base
+    }
+
+    /// Words allocated so far.
+    pub fn used(&self) -> u16 {
+        self.next as u16
+    }
+}
+
+/// Classifier window length in samples.
+pub const WINDOW_LEN: u16 = 32;
+
+/// Buffer ring capacity (power of two). Must cover one burst plus the
+/// burst's draining time (one chunk per sampling period), with margin
+/// for trigger latency.
+pub const BUF_RING_LEN: u16 = 512;
+
+/// Number of projection dimensions (RP-CLASS). Kept small so that the
+/// per-beat classification cost stays within one sampling period at the
+/// platform's 1 MHz clock floor — the regime of the paper's ref \[22\].
+pub const RP_DIMS: u16 = 4;
+
+/// Address of projection row `k` (`WINDOW_LEN` words of ±1).
+pub const fn rp_row(k: usize) -> u32 {
+    CONST_BASE + (k as u32) * WINDOW_LEN as u32
+}
+
+/// Address of the normal centroid (`RP_DIMS` words).
+pub const RP_CENTROID_NORMAL: u32 = CONST_BASE + RP_DIMS as u32 * WINDOW_LEN as u32;
+
+/// Address of the pathological centroid (`RP_DIMS` words).
+pub const RP_CENTROID_PATH: u32 = RP_CENTROID_NORMAL + RP_DIMS as u32;
+
+// --- filter parameters ---------------------------------------------------
+
+/// Opening window of the conditioning filter (samples at 250 Hz).
+pub const MF_OPEN_W: u16 = 30;
+
+/// Closing window of the conditioning filter.
+pub const MF_CLOSE_W: u16 = 50;
+
+/// Noise-suppression structuring element of the conditioning filter.
+pub const MF_NOISE_W: u16 = 5;
+
+/// Small scale of the morphological derivative.
+pub const MMD_SMALL_W: u16 = 10;
+
+/// Large scale of the morphological derivative.
+pub const MMD_LARGE_W: u16 = 30;
+
+/// Delineator detection threshold.
+pub const MMD_THRESHOLD: i16 = 150;
+
+/// Delineator refractory period in samples.
+pub const MMD_REFRACTORY: u16 = 50;
+
+/// Beat-detector threshold on the raw classifier lead.
+pub const DET_THRESHOLD: i16 = 700;
+
+/// Beat-detector refractory period in samples.
+pub const DET_REFRACTORY: u16 = 50;
+
+/// Right pre-shift applied to window samples before projection.
+pub const RP_PRE_SHIFT: u16 = 3;
+
+/// Samples filtered per ADC wake during a delineation burst. One sample
+/// per wake keeps the chain's worst-case window below one sampling
+/// period at the 1 MHz clock floor; the burst then spreads over
+/// [`BURST_LEN`] wakes, well inside one beat interval.
+pub const BURST_CHUNK: u16 = 1;
+
+/// Length of one delineation burst in samples: the window around a
+/// pathological beat that the chain conditions and delineates (~250 ms
+/// at 500 Hz, covering the QRS-T complex).
+pub const BURST_LEN: u16 = 128;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_sim::mmio::MMIO_BASE;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn shared_regions_do_not_overlap() {
+        // Control words, rings and constants all below the shared limit.
+        assert!(EVENT_RING + 4 * EVENT_RING_LEN <= LABEL_RING);
+        assert!(LABEL_RING + LABEL_RING_LEN <= CONST_BASE);
+        assert!(RP_CENTROID_PATH + RP_DIMS as u32 <= out_ring(0));
+        assert!(out_ring(2) + OUT_RING_LEN <= COMBINED_RING);
+        assert!(COMBINED_RING + COMBINED_RING_LEN <= SHARED_WORDS);
+        assert!(SHARED_WORDS <= MMIO_BASE);
+        assert!(SYNC_BASE + SYNC_POINTS as u32 <= TRIG_FLAG);
+    }
+
+    #[test]
+    fn private_allocator_is_sequential_and_bounded() {
+        let mut a = PrivAlloc::new();
+        let x = a.alloc(1);
+        let y = a.alloc(30);
+        let z = a.alloc(50);
+        assert_eq!(y, x + 1);
+        assert_eq!(z, y + 30);
+        assert!(a.used() < PrivAlloc::LIMIT as u16);
+        // The ISA limit itself is within one core's private window for
+        // the benchmark shared size (≈3.3 KWords per core).
+        assert!((PrivAlloc::LIMIT as u32) < (32 * 1024 - SHARED_WORDS) / 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "private allocation overflow")]
+    fn private_allocator_overflow_panics() {
+        let mut a = PrivAlloc::new();
+        a.alloc(2047);
+        a.alloc(10);
+    }
+
+    #[test]
+    fn ring_capacities_are_powers_of_two() {
+        assert!(OUT_RING_LEN.is_power_of_two());
+        assert!(COMBINED_RING_LEN.is_power_of_two());
+        assert!(EVENT_RING_LEN.is_power_of_two());
+        assert!((BUF_RING_LEN as u32).is_power_of_two());
+    }
+}

@@ -1,0 +1,46 @@
+//! The paper's benchmark applications as generated WBSN ISA programs.
+//!
+//! Three embedded ECG applications (paper §IV-D) are built from scratch
+//! for both the single-core baseline and the 8-core target platform, and
+//! — on the multi-core side — in both the proposed HW/SW synchronization
+//! style and the busy-wait style of Fig. 6's middle bars:
+//!
+//! * **3L-MF** — three-lead morphological filtering: three lock-step
+//!   conditioning phases, no producer-consumer edges.
+//! * **3L-MMD** — three-lead delineation: conditioning + combining +
+//!   multi-scale morphological-derivative delineation, using both kinds
+//!   of synchronization.
+//! * **RP-CLASS** — random-projection heartbeat classification with a
+//!   rarely activated four-core delineation chain.
+//!
+//! Every generated kernel is validated bit-for-bit against the golden
+//! models in [`wbsn_dsp`] (see [`golden`] and the crate's integration
+//! tests).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use wbsn_kernels::{build_mf, Arch, BuildOptions};
+//! use wbsn_dsp::ecg::{synthesize, EcgConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let app = build_mf(Arch::MultiCore, &BuildOptions::default())?;
+//! let rec = synthesize(&EcgConfig::short_test());
+//! let mut platform = app.platform(rec.leads.clone())?;
+//! platform.run(10_000_000)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod app;
+pub mod apps;
+pub mod emit;
+pub mod golden;
+pub mod layout;
+pub mod phases;
+pub mod single;
+pub mod train;
+
+pub use app::{Arch, BuildError, BuildOptions, BuiltApp, SyncApproach};
+pub use apps::{build_mf, build_mmd, build_rpclass};
+pub use train::ClassifierParams;

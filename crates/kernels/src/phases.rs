@@ -1,0 +1,927 @@
+//! Phase builders: generated code for the application phases of the
+//! three benchmarks.
+//!
+//! Each builder emits one phase as a self-contained program following the
+//! paper's insertion rules (§III-B step 2): `SNOP` on consumers, `SINC`/
+//! `SDEC` pairs on producers and around variable-timing segments of
+//! lock-step groups, `SLEEP` wherever a core waits. Busy-wait variants
+//! emit the same data path with polling loops instead of the
+//! synchronization ISE — the "without the proposed approach"
+//! configuration of Fig. 6.
+
+use wbsn_isa::{BranchCond, Instr, IsaError, Program, Reg};
+
+use crate::emit::{Emit, LeadPtrs, Stage};
+use crate::layout::{
+    self, PrivAlloc, BUF_RING_LEN, COMBINED_COUNT, COMBINED_RING, COMBINED_RING_LEN,
+    EVENT_COUNT, EVENT_RING, EVENT_RING_LEN, LABEL_RING, LABEL_RING_LEN, LEAD_COUNT_BASE,
+    OUT_RING_LEN, RP_DIMS, SHARED_WORDS, WINDOW_LEN,
+};
+
+/// How a phase waits for work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitStyle {
+    /// The proposed approach: subscribe/`SNOP`, then `SLEEP`.
+    Sleep,
+    /// Active waiting on memory-mapped registers / shared words.
+    BusyWait,
+}
+
+/// Whether a consuming phase sees a contiguous stream (3L-MMD) or the
+/// gapped, absolutely-indexed burst stream of RP-CLASS's triggered
+/// delineation chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamMode {
+    /// Every stream index is produced in order.
+    Contiguous,
+    /// Only `[TRIG_SEQ, TRIG_SEQ + BURST_LEN)` windows are produced;
+    /// consumers jump over the gaps.
+    Burst,
+}
+
+/// Synchronization-point wiring of a producer/lock-step phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncWiring {
+    /// Consume point this phase produces into (`SINC` at start, `SDEC`
+    /// when data is ready).
+    pub produce_point: Option<u16>,
+    /// Branch-recovery point of the phase's lock-step group.
+    pub lockstep_point: Option<u16>,
+    /// The lock-step point is a preloaded auto-reload barrier: skip the
+    /// entry `SINC` (the participants are configured at load time).
+    pub lockstep_preloaded: bool,
+}
+
+/// Allocates the eight conditioning-filter stages (baseline correction
+/// plus noise suppression) in a phase's private space.
+pub fn alloc_filter_stages(
+    a: &mut PrivAlloc,
+    w_open: u16,
+    w_close: u16,
+    w_noise: u16,
+) -> [Stage; 8] {
+    let mut stage = |w: u16, is_min: bool| {
+        let pos_off = a.alloc(1);
+        let ring_off = a.alloc(w);
+        Stage {
+            pos_off,
+            ring_off,
+            w,
+            is_min,
+        }
+    };
+    [
+        stage(w_open, true),   // opening: erode
+        stage(w_open, false),  // opening: dilate
+        stage(w_close, false), // closing: dilate
+        stage(w_close, true),  // closing: erode
+        stage(w_noise, true),  // noise opening: erode
+        stage(w_noise, false), // noise opening: dilate
+        stage(w_noise, false), // noise closing: dilate
+        stage(w_noise, true),  // noise closing: erode
+    ]
+}
+
+/// Private state of a morphological-derivative detector/delineator.
+#[derive(Debug, Clone, Copy)]
+pub struct MmdState {
+    /// Small-scale dilation stage.
+    pub sd: Stage,
+    /// Small-scale erosion stage.
+    pub se: Stage,
+    /// Large-scale dilation stage.
+    pub ld: Stage,
+    /// Large-scale erosion stage.
+    pub le: Stage,
+    /// Scratch: current input sample.
+    pub scx: i16,
+    /// Scratch: dilation output / strength stash.
+    pub scd: i16,
+    /// Scratch: small-scale derivative.
+    pub scds: i16,
+    /// Hold-off (refractory) counter.
+    pub holdoff: i16,
+    /// Tracked onset index (sentinel -1 = none); must be initialised
+    /// with [`emit_mmd_init`] before the first step.
+    pub onset: i16,
+    /// Detection threshold.
+    pub threshold: i16,
+    /// Refractory length in samples.
+    pub refractory: u16,
+}
+
+/// Allocates an MMD detector's private state.
+pub fn alloc_mmd(
+    a: &mut PrivAlloc,
+    small: u16,
+    large: u16,
+    threshold: i16,
+    refractory: u16,
+) -> MmdState {
+    let mut stage = |w: u16, is_min: bool| {
+        let pos_off = a.alloc(1);
+        let ring_off = a.alloc(w);
+        Stage {
+            pos_off,
+            ring_off,
+            w,
+            is_min,
+        }
+    };
+    let sd = stage(small, false);
+    let se = stage(small, true);
+    let ld = stage(large, false);
+    let le = stage(large, true);
+    MmdState {
+        sd,
+        se,
+        ld,
+        le,
+        scx: a.alloc(1),
+        scd: a.alloc(1),
+        scds: a.alloc(1),
+        holdoff: a.alloc(1),
+        onset: a.alloc(1),
+        threshold,
+        refractory,
+    }
+}
+
+/// Emits the detector's start-up initialisation (the onset sentinel).
+/// Clobbers `r2`.
+pub fn emit_mmd_init(e: &mut Emit, st: &MmdState) {
+    e.b.load_const_i16(Reg::R2, -1);
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.onset));
+}
+
+/// Emits one MMD step: sample in `r1`, the current stream index in the
+/// private word `idx_off`; on detection, `r1` holds the response
+/// strength, `st.onset` the wave-onset index, and `fire` is emitted.
+/// Clobbers `r1..r5`.
+///
+/// Mirrors `wbsn_dsp::mmd::MmdDelineator::push` exactly, including the
+/// onset tracking against the half-threshold.
+pub fn emit_mmd_step<F: FnOnce(&mut Emit)>(
+    e: &mut Emit,
+    st: &MmdState,
+    idx_off: i16,
+    fire: F,
+) {
+    let chk = e.fresh("mmd_chk");
+    let done = e.fresh("mmd_done");
+    let clear_onset = e.fresh("mmd_clear_onset");
+    let have_onset = e.fresh("mmd_have_onset");
+    // Small-scale derivative ds = dil_s + ero_s - 2x.
+    e.b.push(Instr::sw(Reg::R1, Reg::R6, st.scx));
+    e.morph_stage(st.sd);
+    e.b.push(Instr::sw(Reg::R1, Reg::R6, st.scd));
+    e.b.push(Instr::lw(Reg::R1, Reg::R6, st.scx));
+    e.morph_stage(st.se);
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.scd));
+    e.b.push(Instr::add(Reg::R1, Reg::R1, Reg::R2));
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.scx));
+    e.b.push(Instr::add(Reg::R2, Reg::R2, Reg::R2));
+    e.b.push(Instr::sub(Reg::R1, Reg::R1, Reg::R2));
+    e.b.push(Instr::sw(Reg::R1, Reg::R6, st.scds));
+    // Large-scale derivative dl.
+    e.b.push(Instr::lw(Reg::R1, Reg::R6, st.scx));
+    e.morph_stage(st.ld);
+    e.b.push(Instr::sw(Reg::R1, Reg::R6, st.scd));
+    e.b.push(Instr::lw(Reg::R1, Reg::R6, st.scx));
+    e.morph_stage(st.le);
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.scd));
+    e.b.push(Instr::add(Reg::R1, Reg::R1, Reg::R2));
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.scx));
+    e.b.push(Instr::add(Reg::R2, Reg::R2, Reg::R2));
+    e.b.push(Instr::sub(Reg::R1, Reg::R1, Reg::R2));
+    // response = dl - ds.
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.scds));
+    e.b.push(Instr::sub(Reg::R1, Reg::R1, Reg::R2));
+    // Hold-off gate.
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.holdoff));
+    e.branch(BranchCond::Eq, Reg::R2, Reg::R0, &chk);
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, -1));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.holdoff));
+    e.b.jmp_to(&done);
+    e.label(&chk);
+    // Onset tracking against the half-threshold.
+    e.b.load_const_i16(Reg::R2, st.threshold >> 1);
+    e.branch(BranchCond::Ge, Reg::R2, Reg::R1, &clear_onset); // resp <= th_low
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.onset));
+    e.branch(BranchCond::Ge, Reg::R2, Reg::R0, &have_onset); // already tracked
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, idx_off));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.onset));
+    e.label(&have_onset);
+    e.b.load_const_i16(Reg::R2, st.threshold);
+    e.branch(BranchCond::Ge, Reg::R2, Reg::R1, &done); // resp <= th
+    e.b.load_const(Reg::R2, st.refractory);
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.holdoff));
+    fire(e);
+    e.b.load_const_i16(Reg::R2, -1);
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.onset));
+    e.b.jmp_to(&done);
+    e.label(&clear_onset);
+    e.b.load_const_i16(Reg::R2, -1);
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.onset));
+    e.label(&done);
+}
+
+/// Emits the fiducial-event store used by delineator phases: appends
+/// `(onset, index, strength)` to the shared event ring (four-word
+/// stride). Expects the response strength in `r1`, the stream index in
+/// the private word `idx_off` and the tracked onset in `st.onset`.
+/// Clobbers `r2..r5`.
+pub fn emit_event_store(e: &mut Emit, st: &MmdState, idx_off: i16) {
+    e.b.push(Instr::sw(Reg::R1, Reg::R6, st.scd)); // stash strength
+    e.b.load_const(Reg::R3, EVENT_COUNT as u16);
+    e.b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+    e.b.push(Instr::addi(Reg::R5, Reg::R2, 1));
+    e.b.push(Instr::AluImm {
+        op: wbsn_isa::AluImmOp::Andi,
+        rd: Reg::R2,
+        ra: Reg::R2,
+        imm: (EVENT_RING_LEN - 1) as i16,
+    });
+    e.b.push(Instr::AluImm {
+        op: wbsn_isa::AluImmOp::Slli,
+        rd: Reg::R2,
+        ra: Reg::R2,
+        imm: 2,
+    });
+    e.b.load_const(Reg::R3, EVENT_RING as u16);
+    e.b.push(Instr::add(Reg::R3, Reg::R3, Reg::R2));
+    e.b.push(Instr::lw(Reg::R4, Reg::R6, st.onset));
+    e.b.push(Instr::sw(Reg::R4, Reg::R3, 0));
+    e.b.push(Instr::lw(Reg::R4, Reg::R6, idx_off));
+    e.b.push(Instr::sw(Reg::R4, Reg::R3, 1));
+    e.b.push(Instr::lw(Reg::R4, Reg::R6, st.scd));
+    e.b.push(Instr::sw(Reg::R4, Reg::R3, 2));
+    // Publish the event only after every word is written.
+    e.b.load_const(Reg::R3, EVENT_COUNT as u16);
+    e.b.push(Instr::sw(Reg::R5, Reg::R3, 0));
+}
+
+/// Builds the shared conditioning (acquire + filter) phase of a
+/// lock-step group.
+///
+/// Every core of the group executes this *same* binary: at start-up the
+/// phase reads the `CORE_ID` register, derives its lead index
+/// (`core_id - first_core`) and precomputes its ADC and output-ring
+/// pointers, so the group's instruction fetches stay identical and
+/// broadcast. Per sample it runs the 4-stage morphological filter and
+/// appends the result to the lead's shared output ring. With
+/// [`WaitStyle::Sleep`] the phase sleeps between samples; the optional
+/// [`SyncWiring`] adds producer signaling and the lock-step barrier of
+/// the paper's insertion step.
+///
+/// # Errors
+///
+/// Propagates assembly errors (a generator bug).
+pub fn build_filter_phase(
+    first_core: u16,
+    lead_base: u16,
+    wait: WaitStyle,
+    wiring: SyncWiring,
+) -> Result<Program, IsaError> {
+    let mut a = PrivAlloc::new();
+    let last_seq = a.alloc(1);
+    let scratch = [a.alloc(1), a.alloc(1), a.alloc(1)];
+    let ptrs = LeadPtrs::alloc(&mut a);
+    let stages = alloc_filter_stages(&mut a, layout::MF_OPEN_W, layout::MF_CLOSE_W, layout::MF_NOISE_W);
+
+    let mut e = Emit::new();
+    e.prologue(SHARED_WORDS);
+    e.lead_init(first_core, lead_base, &ptrs, wait == WaitStyle::Sleep);
+    let top = e.fresh("loop");
+    e.label(&top);
+    if wait == WaitStyle::Sleep {
+        e.b.push(Instr::Sleep);
+    }
+    // Fresh-sample check.
+    e.read_adc_seq_ind(Reg::R1, &ptrs);
+    e.b.push(Instr::lw(Reg::R3, Reg::R6, last_seq));
+    e.branch(BranchCond::Eq, Reg::R1, Reg::R3, &top);
+    e.b.push(Instr::sw(Reg::R1, Reg::R6, last_seq));
+    if let Some(p) = wiring.produce_point {
+        e.b.push(Instr::sinc(p));
+    }
+    if let Some(p) = wiring.lockstep_point {
+        if !wiring.lockstep_preloaded {
+            e.b.push(Instr::sinc(p));
+        }
+    }
+    e.read_adc_data_ind(Reg::R1, &ptrs);
+    e.morph_filter(&stages, scratch);
+    e.ring_store_ind(&ptrs, (OUT_RING_LEN - 1) as u16);
+    if let Some(p) = wiring.lockstep_point {
+        e.b.push(Instr::sdec(p));
+        e.b.push(Instr::Sleep); // barrier: resume in lock-step
+    }
+    if let Some(p) = wiring.produce_point {
+        e.b.push(Instr::sdec(p));
+    }
+    e.b.jmp_to(&top);
+    e.assemble()
+}
+
+/// Builds the combining phase of 3L-MMD / RP-CLASS: consumes the three
+/// lead rings, emits `(|y0| + |y1| + |y2|) >> 2` per sample into the
+/// combined ring.
+///
+/// `consume_point` is the point the three producers signal
+/// (`SNOP` + `SLEEP` here); `produce_point` the point toward the
+/// delineator. Busy-wait variants poll the lead counters instead.
+///
+/// # Errors
+///
+/// Propagates assembly errors (a generator bug).
+pub fn build_combiner_phase(
+    wait: WaitStyle,
+    mode: StreamMode,
+    consume_point: Option<u16>,
+    produce_point: Option<u16>,
+) -> Result<Program, IsaError> {
+    let mut a = PrivAlloc::new();
+    let rd_idx = a.alloc(1);
+
+    let mut e = Emit::new();
+    e.prologue(SHARED_WORDS);
+    let top = e.fresh("loop");
+    let work = e.fresh("work");
+    let per_sample = e.fresh("per_sample");
+    e.label(&top);
+    if wait == WaitStyle::Sleep {
+        if let Some(p) = consume_point {
+            e.b.push(Instr::snop(p));
+        }
+        e.b.push(Instr::Sleep);
+    }
+    // avail into r7: the minimum of the producing leads' counters.
+    match mode {
+        StreamMode::Contiguous => {
+            // All three leads produce continuously.
+            e.b.load_const(Reg::R3, LEAD_COUNT_BASE as u16);
+            e.b.push(Instr::lw(Reg::R7, Reg::R3, 0));
+            e.b.push(Instr::lw(Reg::R2, Reg::R3, 1));
+            e.b.push(Instr::min(Reg::R7, Reg::R7, Reg::R2));
+            e.b.push(Instr::lw(Reg::R2, Reg::R3, 2));
+            e.b.push(Instr::min(Reg::R7, Reg::R7, Reg::R2));
+        }
+        StreamMode::Burst => {
+            // Lead 0 is produced continuously by the classifier's
+            // conditioner; leads 1 and 2 only during bursts, whose
+            // counters carry absolute stream indices.
+            e.b.load_const(Reg::R3, LEAD_COUNT_BASE as u16);
+            e.b.push(Instr::lw(Reg::R7, Reg::R3, 1));
+            e.b.push(Instr::lw(Reg::R2, Reg::R3, 2));
+            e.b.push(Instr::min(Reg::R7, Reg::R7, Reg::R2));
+        }
+    }
+    e.b.push(Instr::lw(Reg::R5, Reg::R6, rd_idx));
+    if mode == StreamMode::Burst {
+        // Jump over the gap to the current burst's start index.
+        e.b.load_const(Reg::R3, layout::TRIG_SEQ as u16);
+        e.b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+        e.b.push(Instr::max(Reg::R5, Reg::R5, Reg::R2));
+        e.b.push(Instr::sw(Reg::R5, Reg::R6, rd_idx));
+    }
+    e.branch(BranchCond::Lt, Reg::R5, Reg::R7, &work);
+    e.b.jmp_to(&top);
+    e.label(&work);
+    if let Some(p) = produce_point {
+        e.b.push(Instr::sinc(p));
+    }
+    e.label(&per_sample);
+    // acc = (|ring0[rd]| >> 2) + (|ring1[rd]| >> 2) + (|ring2[rd]| >> 2)
+    let mask = (OUT_RING_LEN - 1) as u16;
+    e.ring_load(Reg::R4, layout::out_ring(0), mask, Reg::R5);
+    e.b.push(Instr::Abs {
+        rd: Reg::R4,
+        ra: Reg::R4,
+    });
+    e.b.push(Instr::srai(Reg::R1, Reg::R4, 2));
+    for lead in 1..3 {
+        e.ring_load(Reg::R4, layout::out_ring(lead), mask, Reg::R5);
+        e.b.push(Instr::Abs {
+            rd: Reg::R4,
+            ra: Reg::R4,
+        });
+        e.b.push(Instr::srai(Reg::R4, Reg::R4, 2));
+        e.b.push(Instr::add(Reg::R1, Reg::R1, Reg::R4));
+    }
+    // combined[rd & mask] = acc; COMBINED_COUNT = rd + 1 (the counter
+    // carries the absolute index so burst gaps propagate downstream).
+    e.b.push(Instr::AluImm {
+        op: wbsn_isa::AluImmOp::Andi,
+        rd: Reg::R2,
+        ra: Reg::R5,
+        imm: (COMBINED_RING_LEN - 1) as i16,
+    });
+    e.b.load_const(Reg::R3, COMBINED_RING as u16);
+    e.b.push(Instr::add(Reg::R3, Reg::R3, Reg::R2));
+    e.b.push(Instr::sw(Reg::R1, Reg::R3, 0));
+    e.b.push(Instr::addi(Reg::R2, Reg::R5, 1));
+    e.b.load_const(Reg::R3, COMBINED_COUNT as u16);
+    e.b.push(Instr::sw(Reg::R2, Reg::R3, 0));
+    e.b.push(Instr::addi(Reg::R5, Reg::R5, 1));
+    e.b.push(Instr::sw(Reg::R5, Reg::R6, rd_idx));
+    e.branch(BranchCond::Lt, Reg::R5, Reg::R7, &per_sample);
+    if let Some(p) = produce_point {
+        e.b.push(Instr::sdec(p));
+    }
+    e.b.jmp_to(&top);
+    e.assemble()
+}
+
+/// Builds the delineation phase: consumes the combined ring through a
+/// multi-scale morphological-derivative detector and appends fiducial
+/// events to the shared event ring.
+///
+/// # Errors
+///
+/// Propagates assembly errors (a generator bug).
+pub fn build_delineator_phase(
+    wait: WaitStyle,
+    mode: StreamMode,
+    consume_point: Option<u16>,
+) -> Result<Program, IsaError> {
+    let mut a = PrivAlloc::new();
+    let rd_idx = a.alloc(1);
+    let st = alloc_mmd(
+        &mut a,
+        layout::MMD_SMALL_W,
+        layout::MMD_LARGE_W,
+        layout::MMD_THRESHOLD,
+        layout::MMD_REFRACTORY,
+    );
+
+    let mut e = Emit::new();
+    e.prologue(SHARED_WORDS);
+    emit_mmd_init(&mut e, &st);
+    let top = e.fresh("loop");
+    let work = e.fresh("work");
+    e.label(&top);
+    if wait == WaitStyle::Sleep {
+        if let Some(p) = consume_point {
+            e.b.push(Instr::snop(p));
+        }
+        e.b.push(Instr::Sleep);
+    }
+    e.b.load_const(Reg::R3, COMBINED_COUNT as u16);
+    e.b.push(Instr::lw(Reg::R7, Reg::R3, 0));
+    e.b.push(Instr::lw(Reg::R5, Reg::R6, rd_idx));
+    if mode == StreamMode::Burst {
+        // Jump over the gap to the current burst's start index; the
+        // detector's window state persists across bursts.
+        e.b.load_const(Reg::R3, layout::TRIG_SEQ as u16);
+        e.b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+        e.b.push(Instr::max(Reg::R5, Reg::R5, Reg::R2));
+        e.b.push(Instr::sw(Reg::R5, Reg::R6, rd_idx));
+    }
+    e.branch(BranchCond::Lt, Reg::R5, Reg::R7, &work);
+    e.b.jmp_to(&top);
+    e.label(&work);
+    e.ring_load(
+        Reg::R1,
+        COMBINED_RING,
+        (COMBINED_RING_LEN - 1) as u16,
+        Reg::R5,
+    );
+    emit_mmd_step(&mut e, &st, rd_idx, |e| emit_event_store(e, &st, rd_idx));
+    e.b.push(Instr::lw(Reg::R5, Reg::R6, rd_idx));
+    e.b.push(Instr::addi(Reg::R5, Reg::R5, 1));
+    e.b.push(Instr::sw(Reg::R5, Reg::R6, rd_idx));
+    e.branch(BranchCond::Lt, Reg::R5, Reg::R7, &work);
+    e.b.jmp_to(&top);
+    e.assemble()
+}
+
+/// Private state of the RP-CLASS classifier's beat front end.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassifierState {
+    /// Private word holding the current conditioned-stream index (used
+    /// for trigger publication).
+    pub idx_off: i16,
+    /// Window ring offset (32 samples).
+    pub window_ring: i16,
+    /// Window ring position word.
+    pub window_pos: i16,
+    /// Projection output vector (`RP_DIMS` words).
+    pub proj: i16,
+    /// Scratch for the normal-centroid distance.
+    pub dist_n: i16,
+    /// The beat detector.
+    pub det: MmdState,
+}
+
+/// Allocates the classifier's private state.
+pub fn alloc_classifier(a: &mut PrivAlloc) -> ClassifierState {
+    let idx_off = a.alloc(1);
+    let window_ring = a.alloc(WINDOW_LEN);
+    let window_pos = a.alloc(1);
+    let proj = a.alloc(RP_DIMS);
+    let dist_n = a.alloc(1);
+    let det = alloc_mmd(
+        a,
+        layout::MMD_SMALL_W,
+        layout::MMD_LARGE_W,
+        layout::DET_THRESHOLD,
+        layout::DET_REFRACTORY,
+    );
+    ClassifierState {
+        idx_off,
+        window_ring,
+        window_pos,
+        proj,
+        dist_n,
+        det,
+    }
+}
+
+/// Emits the window-ring push: raw sample in `r1` (preserved).
+/// Clobbers `r2`, `r3`.
+pub fn emit_window_push(e: &mut Emit, st: &ClassifierState) {
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.window_pos));
+    e.b.push(Instr::addi(Reg::R3, Reg::R2, st.window_ring));
+    e.b.push(Instr::add(Reg::R3, Reg::R3, Reg::R6));
+    e.b.push(Instr::sw(Reg::R1, Reg::R3, 0));
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+    e.b.push(Instr::AluImm {
+        op: wbsn_isa::AluImmOp::Andi,
+        rd: Reg::R2,
+        ra: Reg::R2,
+        imm: (WINDOW_LEN - 1) as i16,
+    });
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.window_pos));
+}
+
+/// Emits the projection + nearest-centroid classification + trigger
+/// sequence (the fire action of the classifier's detector). Reads the
+/// window ring, writes the label ring and counters, bumps the trigger
+/// counter for pathological beats. Clobbers every scratch register.
+pub fn emit_classify(e: &mut Emit, st: &ClassifierState) {
+    // Projection: proj[k] = Σ_i sign[k][i] · (window[(pos + i) & 31] >> 3)
+    for k in 0..RP_DIMS as usize {
+        let inner = e.fresh("proj_inner");
+        e.b.load_const(Reg::R7, layout::rp_row(k) as u16);
+        e.b.load_const(Reg::R4, 0); // i
+        e.b.load_const(Reg::R5, 0); // acc
+        e.label(&inner);
+        e.b.push(Instr::lw(Reg::R2, Reg::R6, st.window_pos));
+        e.b.push(Instr::add(Reg::R2, Reg::R2, Reg::R4));
+        e.b.push(Instr::AluImm {
+            op: wbsn_isa::AluImmOp::Andi,
+            rd: Reg::R2,
+            ra: Reg::R2,
+            imm: (WINDOW_LEN - 1) as i16,
+        });
+        e.b.push(Instr::addi(Reg::R2, Reg::R2, st.window_ring));
+        e.b.push(Instr::add(Reg::R2, Reg::R2, Reg::R6));
+        e.b.push(Instr::lw(Reg::R3, Reg::R2, 0)); // x
+        e.b.push(Instr::srai(Reg::R3, Reg::R3, layout::RP_PRE_SHIFT as i16));
+        e.b.push(Instr::lw(Reg::R2, Reg::R7, 0)); // sign (+1/-1)
+        e.b.push(Instr::Alu {
+            op: wbsn_isa::AluOp::Mul,
+            rd: Reg::R2,
+            ra: Reg::R2,
+            rb: Reg::R3,
+        });
+        e.b.push(Instr::add(Reg::R5, Reg::R5, Reg::R2));
+        e.b.push(Instr::addi(Reg::R7, Reg::R7, 1));
+        e.b.push(Instr::addi(Reg::R4, Reg::R4, 1));
+        e.b.load_const(Reg::R3, WINDOW_LEN);
+        e.branch(BranchCond::Ne, Reg::R4, Reg::R3, &inner);
+        e.b.push(Instr::sw(Reg::R5, Reg::R6, st.proj + k as i16));
+    }
+    // L1 distances to the two centroids (unrolled).
+    for (centroid, out) in [
+        (layout::RP_CENTROID_NORMAL, Some(st.dist_n)),
+        (layout::RP_CENTROID_PATH, None),
+    ] {
+        e.b.load_const(Reg::R5, 0); // acc
+        for d in 0..RP_DIMS as usize {
+            e.b.push(Instr::lw(Reg::R1, Reg::R6, st.proj + d as i16));
+            e.b.load_const(Reg::R3, (centroid + d as u32) as u16);
+            e.b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+            e.b.push(Instr::sub(Reg::R1, Reg::R1, Reg::R2));
+            e.b.push(Instr::Abs {
+                rd: Reg::R1,
+                ra: Reg::R1,
+            });
+            e.b.push(Instr::add(Reg::R5, Reg::R5, Reg::R1));
+        }
+        if let Some(off) = out {
+            e.b.push(Instr::sw(Reg::R5, Reg::R6, off));
+        }
+    }
+    // label = (dist_path < dist_normal) — r5 holds dist_path.
+    let normal = e.fresh("clf_normal");
+    let store = e.fresh("clf_store");
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.dist_n));
+    e.b.load_const(Reg::R1, 0);
+    e.branch(BranchCond::Ge, Reg::R5, Reg::R2, &normal); // dp >= dn → normal
+    e.b.load_const(Reg::R1, 1);
+    // pathological: bump PATH_COUNT and publish the delineation trigger
+    // (burst start index first, then the counter the chain polls).
+    e.b.load_const(Reg::R3, layout::PATH_COUNT as u16);
+    e.b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+    e.b.push(Instr::sw(Reg::R2, Reg::R3, 0));
+    let skip_trig = e.fresh("skip_trig");
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.idx_off));
+    e.b.load_const(Reg::R3, layout::BURST_LEN - 1);
+    e.branch(BranchCond::Lt, Reg::R2, Reg::R3, &skip_trig); // too early
+    e.b.push(Instr::sub(Reg::R2, Reg::R2, Reg::R3)); // S = idx - (BURST_LEN - 1)
+    e.b.load_const(Reg::R3, layout::TRIG_SEQ as u16);
+    e.b.push(Instr::sw(Reg::R2, Reg::R3, 0));
+    e.b.load_const(Reg::R3, layout::TRIG_FLAG as u16);
+    e.b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+    e.b.push(Instr::sw(Reg::R2, Reg::R3, 0));
+    e.label(&skip_trig);
+    e.b.load_const(Reg::R1, 1); // the label value (untouched by the trigger path)
+    e.b.jmp_to(&store);
+    e.label(&normal);
+    e.label(&store);
+    // Label ring: ring[BEAT_COUNT & mask] = label; BEAT_COUNT += 1.
+    e.ring_store(
+        LABEL_RING,
+        (LABEL_RING_LEN - 1) as u16,
+        layout::BEAT_COUNT,
+    );
+}
+
+/// Private state of a buffered (triggered) conditioning phase.
+#[derive(Debug, Clone, Copy)]
+pub struct BufferedFilterState {
+    last_seq: i16,
+    ptrs: LeadPtrs,
+    buf_ring: i16,
+    buf_wr: i16,
+    last_trig: i16,
+    burst_rem: i16,
+    burst_src: i16,
+    cur_idx: i16,
+    chunk_save: i16,
+    scratch: [i16; 3],
+    stages: [Stage; 8],
+}
+
+/// Builds one RP-CLASS chain conditioning phase: buffers every raw
+/// sample cheaply; when the classifier bumps the trigger counter,
+/// filters a [`layout::BURST_LEN`]-sample window in
+/// [`layout::BURST_CHUNK`]-sized chunks spread over subsequent wakes
+/// (so the real-time constraint stays per-sample).
+///
+/// # Errors
+///
+/// Propagates assembly errors (a generator bug).
+pub fn build_triggered_filter_phase(
+    first_core: u16,
+    lead_base: u16,
+    wait: WaitStyle,
+    wiring: SyncWiring,
+) -> Result<Program, IsaError> {
+    let mut a = PrivAlloc::new();
+    let st = BufferedFilterState {
+        last_seq: a.alloc(1),
+        ptrs: LeadPtrs::alloc(&mut a),
+        buf_ring: a.alloc(BUF_RING_LEN),
+        buf_wr: a.alloc(1),
+        last_trig: a.alloc(1),
+        burst_rem: a.alloc(1),
+        burst_src: a.alloc(1),
+        cur_idx: a.alloc(1),
+        chunk_save: a.alloc(1),
+        scratch: [a.alloc(1), a.alloc(1), a.alloc(1)],
+        stages: alloc_filter_stages(&mut a, layout::MF_OPEN_W, layout::MF_CLOSE_W, layout::MF_NOISE_W),
+    };
+
+    let mut e = Emit::new();
+    e.prologue(SHARED_WORDS);
+    e.lead_init(first_core, lead_base, &st.ptrs, wait == WaitStyle::Sleep);
+    let top = e.fresh("loop");
+    let after_buf = e.fresh("after_buf");
+    let no_trig = e.fresh("no_trig");
+    let chunk_loop = e.fresh("chunk");
+    let chunk_done = e.fresh("chunk_done");
+    e.label(&top);
+    if wait == WaitStyle::Sleep {
+        e.b.push(Instr::Sleep);
+    }
+    // Only fresh-sample wakes advance the phase. Spurious wakes (the
+    // SINC-set producer flag means every consume-point fire also wakes
+    // this core, per the paper's "resume all registered cores") go
+    // straight back to sleep, which paces burst draining at one chunk
+    // per sampling period and keeps the real-time window bounded.
+    e.read_adc_seq_ind(Reg::R1, &st.ptrs);
+    e.b.push(Instr::lw(Reg::R3, Reg::R6, st.last_seq));
+    e.branch(BranchCond::Eq, Reg::R1, Reg::R3, &top);
+    e.b.push(Instr::sw(Reg::R1, Reg::R6, st.last_seq));
+    e.read_adc_data_ind(Reg::R1, &st.ptrs);
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.buf_wr));
+    e.b.push(Instr::AluImm {
+        op: wbsn_isa::AluImmOp::Andi,
+        rd: Reg::R3,
+        ra: Reg::R2,
+        imm: (BUF_RING_LEN - 1) as i16,
+    });
+    e.b.push(Instr::addi(Reg::R3, Reg::R3, st.buf_ring));
+    e.b.push(Instr::add(Reg::R3, Reg::R3, Reg::R6));
+    e.b.push(Instr::sw(Reg::R1, Reg::R3, 0));
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.buf_wr));
+    e.label(&after_buf);
+    // New trigger? (only honoured between bursts)
+    e.b.load_const(Reg::R3, layout::TRIG_FLAG as u16);
+    e.b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+    e.b.push(Instr::lw(Reg::R3, Reg::R6, st.last_trig));
+    e.branch(BranchCond::Eq, Reg::R2, Reg::R3, &no_trig);
+    e.b.push(Instr::lw(Reg::R4, Reg::R6, st.burst_rem));
+    e.branch(BranchCond::Ne, Reg::R4, Reg::R0, &no_trig);
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.last_trig));
+    e.b.load_const(Reg::R4, layout::BURST_LEN);
+    e.b.push(Instr::sw(Reg::R4, Reg::R6, st.burst_rem));
+    // The burst covers the absolute indices published by the classifier.
+    e.b.load_const(Reg::R3, layout::TRIG_SEQ as u16);
+    e.b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.burst_src));
+    e.label(&no_trig);
+    // Burst chunk.
+    e.b.push(Instr::lw(Reg::R4, Reg::R6, st.burst_rem));
+    e.branch(BranchCond::Eq, Reg::R4, Reg::R0, &top);
+    if let Some(p) = wiring.produce_point {
+        e.b.push(Instr::sinc(p));
+    }
+    if let Some(p) = wiring.lockstep_point {
+        if !wiring.lockstep_preloaded {
+            e.b.push(Instr::sinc(p));
+        }
+    }
+    e.b.load_const(Reg::R5, layout::BURST_CHUNK);
+    e.label(&chunk_loop);
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.burst_src));
+    e.b.push(Instr::AluImm {
+        op: wbsn_isa::AluImmOp::Andi,
+        rd: Reg::R3,
+        ra: Reg::R2,
+        imm: (BUF_RING_LEN - 1) as i16,
+    });
+    e.b.push(Instr::addi(Reg::R3, Reg::R3, st.buf_ring));
+    e.b.push(Instr::add(Reg::R3, Reg::R3, Reg::R6));
+    e.b.push(Instr::lw(Reg::R1, Reg::R3, 0));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.cur_idx));
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.burst_src));
+    e.b.push(Instr::sw(Reg::R5, Reg::R6, st.chunk_save));
+    e.morph_filter(&st.stages, st.scratch);
+    // out[idx & mask] = y; count = idx + 1 (absolute indices).
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.cur_idx));
+    e.b.push(Instr::AluImm {
+        op: wbsn_isa::AluImmOp::Andi,
+        rd: Reg::R3,
+        ra: Reg::R2,
+        imm: (OUT_RING_LEN - 1) as i16,
+    });
+    e.b.push(Instr::lw(Reg::R4, Reg::R6, st.ptrs.ring_base));
+    e.b.push(Instr::add(Reg::R3, Reg::R3, Reg::R4));
+    e.b.push(Instr::sw(Reg::R1, Reg::R3, 0));
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+    e.b.push(Instr::lw(Reg::R3, Reg::R6, st.ptrs.count_addr));
+    e.b.push(Instr::sw(Reg::R2, Reg::R3, 0));
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.burst_rem));
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, -1));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.burst_rem));
+    e.b.push(Instr::lw(Reg::R5, Reg::R6, st.chunk_save));
+    e.b.push(Instr::addi(Reg::R5, Reg::R5, -1));
+    e.branch(BranchCond::Eq, Reg::R2, Reg::R0, &chunk_done);
+    e.branch(BranchCond::Ne, Reg::R5, Reg::R0, &chunk_loop);
+    e.label(&chunk_done);
+    if let Some(p) = wiring.lockstep_point {
+        e.b.push(Instr::sdec(p));
+        e.b.push(Instr::Sleep);
+    }
+    if let Some(p) = wiring.produce_point {
+        e.b.push(Instr::sdec(p));
+    }
+    e.b.jmp_to(&top);
+    e.assemble()
+}
+
+/// Builds the RP-CLASS classifier phase (beat detection on the raw lead,
+/// projection, nearest-centroid labelling and chain triggering).
+///
+/// # Errors
+///
+/// Propagates assembly errors (a generator bug).
+pub fn build_classifier_phase(
+    wait: WaitStyle,
+    consume_point: Option<u16>,
+) -> Result<Program, IsaError> {
+    let mut a = PrivAlloc::new();
+    let st = alloc_classifier(&mut a);
+
+    let mut e = Emit::new();
+    e.prologue(SHARED_WORDS);
+    emit_mmd_init(&mut e, &st.det);
+    let top = e.fresh("loop");
+    let check = e.fresh("check");
+    let work = e.fresh("work");
+    e.label(&top);
+    if wait == WaitStyle::Sleep {
+        if let Some(p) = consume_point {
+            e.b.push(Instr::snop(p));
+        }
+        e.b.push(Instr::Sleep);
+    }
+    // avail = conditioned lead-0 samples produced so far. Recomputed on
+    // every iteration: the classification fire path clobbers every
+    // scratch register, so no loop bound survives a detected beat.
+    e.label(&check);
+    e.b.load_const(Reg::R3, LEAD_COUNT_BASE as u16);
+    e.b.push(Instr::lw(Reg::R7, Reg::R3, 0));
+    e.b.push(Instr::lw(Reg::R5, Reg::R6, st.idx_off));
+    e.branch(BranchCond::Lt, Reg::R5, Reg::R7, &work);
+    e.b.jmp_to(&top);
+    e.label(&work);
+    e.ring_load(
+        Reg::R1,
+        layout::out_ring(0),
+        (OUT_RING_LEN - 1) as u16,
+        Reg::R5,
+    );
+    emit_window_push(&mut e, &st);
+    let det = st.det;
+    emit_mmd_step(&mut e, &det, st.idx_off, |e| emit_classify(e, &st));
+    e.b.push(Instr::lw(Reg::R5, Reg::R6, st.idx_off));
+    e.b.push(Instr::addi(Reg::R5, Reg::R5, 1));
+    e.b.push(Instr::sw(Reg::R5, Reg::R6, st.idx_off));
+    e.b.jmp_to(&check);
+    e.assemble()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_assemble_and_have_sync_overhead_only_when_wired() {
+        let plain = build_filter_phase(0, 0, WaitStyle::BusyWait, SyncWiring::default()).unwrap();
+        assert_eq!(plain.sync_instr_count(), 0);
+        let wired = build_filter_phase(
+            0,
+            0,
+            WaitStyle::Sleep,
+            SyncWiring {
+                produce_point: Some(0),
+                lockstep_point: Some(1),
+                lockstep_preloaded: false,
+            },
+        )
+        .unwrap();
+        // subscribe-SLEEP + SINC×2 + SDEC×2 + barrier SLEEP.
+        assert_eq!(wired.sync_instr_count(), 6);
+        assert!(wired.len() > plain.len());
+    }
+
+    #[test]
+    fn combiner_and_delineator_assemble() {
+        let c = build_combiner_phase(WaitStyle::Sleep, StreamMode::Contiguous, Some(0), Some(1)).unwrap();
+        assert!(c.sync_instr_count() >= 3);
+        let d = build_delineator_phase(WaitStyle::Sleep, StreamMode::Contiguous, Some(1)).unwrap();
+        assert!(d.sync_instr_count() >= 2);
+        let bw = build_combiner_phase(WaitStyle::BusyWait, StreamMode::Burst, None, None).unwrap();
+        assert_eq!(bw.sync_instr_count(), 0);
+    }
+
+    #[test]
+    fn classifier_and_triggered_filter_assemble() {
+        let c = build_classifier_phase(WaitStyle::Sleep, Some(0)).unwrap();
+        assert!(c.len() > 200, "projection should be substantial code");
+        let f = build_triggered_filter_phase(
+            1,
+            1,
+            WaitStyle::Sleep,
+            SyncWiring {
+                produce_point: Some(1),
+                lockstep_point: Some(3),
+                lockstep_preloaded: false,
+            },
+        )
+        .unwrap();
+        assert!(f.sync_instr_count() >= 5);
+    }
+
+    #[test]
+    fn phase_code_fits_an_instruction_bank() {
+        for p in [
+            build_filter_phase(2, 0, WaitStyle::Sleep, SyncWiring::default()).unwrap(),
+            build_classifier_phase(WaitStyle::Sleep, Some(0)).unwrap(),
+            build_triggered_filter_phase(0, 0, WaitStyle::BusyWait, SyncWiring::default()).unwrap(),
+            build_combiner_phase(WaitStyle::Sleep, StreamMode::Contiguous, Some(0), Some(1)).unwrap(),
+            build_delineator_phase(WaitStyle::BusyWait, StreamMode::Burst, None).unwrap(),
+        ] {
+            assert!(p.len() < wbsn_isa::IM_BANK_WORDS, "{} words", p.len());
+        }
+    }
+}

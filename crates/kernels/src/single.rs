@@ -1,0 +1,387 @@
+//! Single-core baseline programs.
+//!
+//! The baseline executes the same data path as the multi-core mappings —
+//! same filters, same rings, same counters — sequentially on one core,
+//! with the whole flat memory at its disposal and an interrupt-driven
+//! sleep between samples. This is the "SC" column of Table I.
+
+use wbsn_isa::{BranchCond, Instr, IsaError, Program, Reg};
+
+use crate::emit::{Emit, Stage};
+use crate::layout::{
+    self, PrivAlloc, BUF_RING_LEN, COMBINED_COUNT, COMBINED_RING, COMBINED_RING_LEN,
+    LEAD_COUNT_BASE, OUT_RING_LEN, SHARED_WORDS,
+};
+use crate::phases::{
+    alloc_classifier, alloc_filter_stages, alloc_mmd, emit_classify, emit_event_store,
+    emit_mmd_init, emit_mmd_step, emit_window_push, ClassifierState, MmdState,
+};
+
+/// Per-benchmark pieces shared by the single-core builders.
+struct ScCommon {
+    alloc: PrivAlloc,
+    last_seq: i16,
+    scratch: [i16; 3],
+    stages: Vec<[Stage; 8]>,
+}
+
+impl ScCommon {
+    fn new(leads: usize) -> ScCommon {
+        let mut alloc = PrivAlloc::new();
+        let last_seq = alloc.alloc(1);
+        let scratch = [alloc.alloc(1), alloc.alloc(1), alloc.alloc(1)];
+        let stages = (0..leads)
+            .map(|_| {
+                alloc_filter_stages(
+                    &mut alloc,
+                    layout::MF_OPEN_W,
+                    layout::MF_CLOSE_W,
+                    layout::MF_NOISE_W,
+                )
+            })
+            .collect();
+        ScCommon {
+            alloc,
+            last_seq,
+            scratch,
+            stages,
+        }
+    }
+
+    /// Emits the loop head: sleep, fresh-sample check (channel 0 is the
+    /// pacing channel; all channels latch in the same cycle).
+    fn emit_head(&self, e: &mut Emit, top: &str, on_stale: &str) {
+        e.b.push(Instr::Sleep);
+        e.read_adc_seq(Reg::R1, 0);
+        e.b.push(Instr::lw(Reg::R3, Reg::R6, self.last_seq));
+        e.branch(BranchCond::Eq, Reg::R1, Reg::R3, on_stale);
+        e.b.push(Instr::sw(Reg::R1, Reg::R6, self.last_seq));
+        let _ = top;
+    }
+}
+
+/// Builds the single-core 3L-MF program: per sample, filter the three
+/// leads back to back.
+///
+/// # Errors
+///
+/// Propagates assembly errors (a generator bug).
+pub fn build_mf_single() -> Result<Program, IsaError> {
+    let c = ScCommon::new(3);
+    let mut e = Emit::new();
+    e.prologue(SHARED_WORDS);
+    e.subscribe(0b111);
+    let top = e.fresh("loop");
+    e.label(&top);
+    c.emit_head(&mut e, &top, &top);
+    for lead in 0..3 {
+        e.read_adc_data(Reg::R1, lead);
+        e.morph_filter(&c.stages[lead], c.scratch);
+        e.ring_store(
+            layout::out_ring(lead),
+            (OUT_RING_LEN - 1) as u16,
+            LEAD_COUNT_BASE + lead as u32,
+        );
+    }
+    e.b.jmp_to(&top);
+    e.assemble()
+}
+
+/// Builds the single-core 3L-MMD program: filter the three leads,
+/// combine, delineate — all per sample.
+///
+/// # Errors
+///
+/// Propagates assembly errors (a generator bug).
+#[allow(clippy::needless_range_loop)] // `lead` indexes stage sets and ADC channels alike
+pub fn build_mmd_single() -> Result<Program, IsaError> {
+    let mut c = ScCommon::new(3);
+    let filtered: Vec<i16> = (0..3).map(|_| c.alloc.alloc(1)).collect();
+    let delin_cnt = c.alloc.alloc(1);
+    let mmd = alloc_mmd(
+        &mut c.alloc,
+        layout::MMD_SMALL_W,
+        layout::MMD_LARGE_W,
+        layout::MMD_THRESHOLD,
+        layout::MMD_REFRACTORY,
+    );
+
+    let mut e = Emit::new();
+    e.prologue(SHARED_WORDS);
+    e.subscribe(0b111);
+    emit_mmd_init(&mut e, &mmd);
+    let top = e.fresh("loop");
+    e.label(&top);
+    c.emit_head(&mut e, &top, &top);
+    for lead in 0..3 {
+        e.read_adc_data(Reg::R1, lead);
+        e.morph_filter(&c.stages[lead], c.scratch);
+        e.b.push(Instr::sw(Reg::R1, Reg::R6, filtered[lead]));
+        e.ring_store(
+            layout::out_ring(lead),
+            (OUT_RING_LEN - 1) as u16,
+            LEAD_COUNT_BASE + lead as u32,
+        );
+    }
+    emit_combine_from_private(&mut e, &filtered);
+    e.ring_store(
+        COMBINED_RING,
+        (COMBINED_RING_LEN - 1) as u16,
+        COMBINED_COUNT,
+    );
+    emit_mmd_step(&mut e, &mmd, delin_cnt, |e| emit_event_store(e, &mmd, delin_cnt));
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, delin_cnt));
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, delin_cnt));
+    e.b.jmp_to(&top);
+    e.assemble()
+}
+
+/// Emits the three-lead combination from private words into `r1`.
+fn emit_combine_from_private(e: &mut Emit, filtered: &[i16]) {
+    e.b.push(Instr::lw(Reg::R4, Reg::R6, filtered[0]));
+    e.b.push(Instr::Abs {
+        rd: Reg::R4,
+        ra: Reg::R4,
+    });
+    e.b.push(Instr::srai(Reg::R1, Reg::R4, 2));
+    for &off in &filtered[1..] {
+        e.b.push(Instr::lw(Reg::R4, Reg::R6, off));
+        e.b.push(Instr::Abs {
+            rd: Reg::R4,
+            ra: Reg::R4,
+        });
+        e.b.push(Instr::srai(Reg::R4, Reg::R4, 2));
+        e.b.push(Instr::add(Reg::R1, Reg::R1, Reg::R4));
+    }
+}
+
+/// Private state of the single-core RP-CLASS program.
+struct ScRpState {
+    /// Raw buffers for leads 1 and 2 (lead 0 is conditioned on line).
+    buf_rings: [i16; 2],
+    buf_wr: i16,
+    last_trig: i16,
+    burst_rem: i16,
+    burst_src: i16,
+    chunk_save: i16,
+    filtered: [i16; 2],
+    delineator: MmdState,
+    classifier: ClassifierState,
+}
+
+/// Builds the single-core RP-CLASS program.
+///
+/// Per sample: condition lead 0, classify beats on the conditioned
+/// stream, and buffer leads 1 and 2 raw. Only when a pathological beat
+/// is flagged, the buffered window is conditioned, combined with the
+/// already-conditioned lead 0 and delineated — one burst sample per
+/// wake, like the multi-core chain.
+///
+/// # Errors
+///
+/// Propagates assembly errors (a generator bug).
+pub fn build_rpclass_single() -> Result<Program, IsaError> {
+    let mut c = ScCommon::new(3);
+    let st = ScRpState {
+        buf_rings: [c.alloc.alloc(BUF_RING_LEN), c.alloc.alloc(BUF_RING_LEN)],
+        buf_wr: c.alloc.alloc(1),
+        last_trig: c.alloc.alloc(1),
+        burst_rem: c.alloc.alloc(1),
+        burst_src: c.alloc.alloc(1),
+        chunk_save: c.alloc.alloc(1),
+        filtered: [c.alloc.alloc(1), c.alloc.alloc(1)],
+        delineator: alloc_mmd(
+            &mut c.alloc,
+            layout::MMD_SMALL_W,
+            layout::MMD_LARGE_W,
+            layout::MMD_THRESHOLD,
+            layout::MMD_REFRACTORY,
+        ),
+        classifier: alloc_classifier(&mut c.alloc),
+    };
+
+    let mut e = Emit::new();
+    e.prologue(SHARED_WORDS);
+    e.subscribe(0b111);
+    emit_mmd_init(&mut e, &st.classifier.det);
+    emit_mmd_init(&mut e, &st.delineator);
+    let top = e.fresh("loop");
+    let burst_check = e.fresh("burst_check");
+    let no_trig = e.fresh("no_trig");
+    let chunk_loop = e.fresh("chunk");
+    let chunk_done = e.fresh("chunk_done");
+    e.label(&top);
+    c.emit_head(&mut e, &top, &burst_check);
+
+    // Lead 0: condition, publish, classify.
+    e.read_adc_data(Reg::R1, 0);
+    e.morph_filter(&c.stages[0], c.scratch);
+    e.ring_store(
+        layout::out_ring(0),
+        (OUT_RING_LEN - 1) as u16,
+        LEAD_COUNT_BASE,
+    );
+    emit_window_push(&mut e, &st.classifier);
+    let det = st.classifier.det;
+    let classifier = st.classifier;
+    emit_mmd_step(&mut e, &det, st.classifier.idx_off, |e| {
+        emit_classify(e, &classifier)
+    });
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.classifier.idx_off));
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.classifier.idx_off));
+    // Leads 1 and 2: buffer raw samples at their absolute index.
+    for lead in 1..3 {
+        e.read_adc_data(Reg::R1, lead);
+        emit_buf_push(&mut e, st.buf_rings[lead - 1], st.buf_wr, false);
+    }
+    emit_buf_advance(&mut e, st.buf_wr);
+
+    e.label(&burst_check);
+    // New trigger (only honoured between bursts)?
+    e.b.load_const(Reg::R3, layout::TRIG_FLAG as u16);
+    e.b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+    e.b.push(Instr::lw(Reg::R3, Reg::R6, st.last_trig));
+    e.branch(BranchCond::Eq, Reg::R2, Reg::R3, &no_trig);
+    e.b.push(Instr::lw(Reg::R4, Reg::R6, st.burst_rem));
+    e.branch(BranchCond::Ne, Reg::R4, Reg::R0, &no_trig);
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.last_trig));
+    e.b.load_const(Reg::R4, layout::BURST_LEN);
+    e.b.push(Instr::sw(Reg::R4, Reg::R6, st.burst_rem));
+    e.b.load_const(Reg::R3, layout::TRIG_SEQ as u16);
+    e.b.push(Instr::lw(Reg::R2, Reg::R3, 0));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.burst_src));
+    e.label(&no_trig);
+    e.b.push(Instr::lw(Reg::R4, Reg::R6, st.burst_rem));
+    e.branch(BranchCond::Eq, Reg::R4, Reg::R0, &top);
+    e.b.load_const(Reg::R5, layout::BURST_CHUNK);
+    e.label(&chunk_loop);
+    e.b.push(Instr::sw(Reg::R5, Reg::R6, st.chunk_save));
+    // Condition the buffered sample of leads 1 and 2.
+    for lead in 1..3 {
+        e.b.push(Instr::lw(Reg::R2, Reg::R6, st.burst_src));
+        e.b.push(Instr::AluImm {
+            op: wbsn_isa::AluImmOp::Andi,
+            rd: Reg::R3,
+            ra: Reg::R2,
+            imm: (BUF_RING_LEN - 1) as i16,
+        });
+        e.b.push(Instr::addi(Reg::R3, Reg::R3, st.buf_rings[lead - 1]));
+        e.b.push(Instr::add(Reg::R3, Reg::R3, Reg::R6));
+        e.b.push(Instr::lw(Reg::R1, Reg::R3, 0));
+        e.morph_filter(&c.stages[lead], c.scratch);
+        e.b.push(Instr::sw(Reg::R1, Reg::R6, st.filtered[lead - 1]));
+    }
+    // Combine with the conditioned lead 0 at the same absolute index.
+    e.b.push(Instr::lw(Reg::R5, Reg::R6, st.burst_src));
+    e.ring_load(Reg::R4, layout::out_ring(0), (OUT_RING_LEN - 1) as u16, Reg::R5);
+    e.b.push(Instr::Abs {
+        rd: Reg::R4,
+        ra: Reg::R4,
+    });
+    e.b.push(Instr::srai(Reg::R1, Reg::R4, 2));
+    for lead in 1..3 {
+        e.b.push(Instr::lw(Reg::R4, Reg::R6, st.filtered[lead - 1]));
+        e.b.push(Instr::Abs {
+            rd: Reg::R4,
+            ra: Reg::R4,
+        });
+        e.b.push(Instr::srai(Reg::R4, Reg::R4, 2));
+        e.b.push(Instr::add(Reg::R1, Reg::R1, Reg::R4));
+    }
+    // combined[idx & mask] = acc; COMBINED_COUNT = idx + 1.
+    e.b.push(Instr::AluImm {
+        op: wbsn_isa::AluImmOp::Andi,
+        rd: Reg::R2,
+        ra: Reg::R5,
+        imm: (COMBINED_RING_LEN - 1) as i16,
+    });
+    e.b.load_const(Reg::R3, COMBINED_RING as u16);
+    e.b.push(Instr::add(Reg::R3, Reg::R3, Reg::R2));
+    e.b.push(Instr::sw(Reg::R1, Reg::R3, 0));
+    e.b.push(Instr::addi(Reg::R2, Reg::R5, 1));
+    e.b.load_const(Reg::R3, COMBINED_COUNT as u16);
+    e.b.push(Instr::sw(Reg::R2, Reg::R3, 0));
+    // Delineate (the event index is the absolute burst index).
+    let delineator = st.delineator;
+    emit_mmd_step(&mut e, &delineator, st.burst_src, |e| {
+        emit_event_store(e, &delineator, st.burst_src)
+    });
+    // Burst bookkeeping.
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.burst_src));
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.burst_src));
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, st.burst_rem));
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, -1));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, st.burst_rem));
+    e.b.push(Instr::lw(Reg::R5, Reg::R6, st.chunk_save));
+    e.b.push(Instr::addi(Reg::R5, Reg::R5, -1));
+    e.branch(BranchCond::Eq, Reg::R2, Reg::R0, &chunk_done);
+    e.branch(BranchCond::Ne, Reg::R5, Reg::R0, &chunk_loop);
+    e.label(&chunk_done);
+    e.b.jmp_to(&top);
+    e.assemble()
+}
+
+/// Emits a private buffer-ring push: sample in `r1` (preserved), write
+/// counter at `buf_wr`. When `advance` is set the counter is bumped;
+/// otherwise the caller advances it once for all leads via
+/// [`emit_buf_advance`]. Clobbers `r2`, `r3`.
+fn emit_buf_push(e: &mut Emit, buf_ring: i16, buf_wr: i16, advance: bool) {
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, buf_wr));
+    e.b.push(Instr::AluImm {
+        op: wbsn_isa::AluImmOp::Andi,
+        rd: Reg::R3,
+        ra: Reg::R2,
+        imm: (BUF_RING_LEN - 1) as i16,
+    });
+    e.b.push(Instr::addi(Reg::R3, Reg::R3, buf_ring));
+    e.b.push(Instr::add(Reg::R3, Reg::R3, Reg::R6));
+    e.b.push(Instr::sw(Reg::R1, Reg::R3, 0));
+    if advance {
+        emit_buf_advance(e, buf_wr);
+    }
+}
+
+/// Bumps the buffer write counter. Clobbers `r2`.
+fn emit_buf_advance(e: &mut Emit, buf_wr: i16) {
+    e.b.push(Instr::lw(Reg::R2, Reg::R6, buf_wr));
+    e.b.push(Instr::addi(Reg::R2, Reg::R2, 1));
+    e.b.push(Instr::sw(Reg::R2, Reg::R6, buf_wr));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_programs_assemble() {
+        let mf = build_mf_single().unwrap();
+        let mmd = build_mmd_single().unwrap();
+        let rp = build_rpclass_single().unwrap();
+        assert!(mf.len() < mmd.len());
+        assert!(mmd.len() < rp.len());
+        for p in [&mf, &mmd, &rp] {
+            assert!(p.len() < wbsn_isa::IM_BANK_WORDS * 2);
+        }
+    }
+
+    #[test]
+    fn baseline_uses_no_sync_points() {
+        // SLEEP (the interrupt-controller wait) is allowed; the
+        // point-based ISE is not used by the baseline.
+        for p in [
+            build_mf_single().unwrap(),
+            build_mmd_single().unwrap(),
+            build_rpclass_single().unwrap(),
+        ] {
+            let points = p
+                .instrs()
+                .iter()
+                .filter(|i| matches!(i, Instr::Sync { .. }))
+                .count();
+            assert_eq!(points, 0);
+        }
+    }
+}

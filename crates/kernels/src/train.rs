@@ -1,0 +1,190 @@
+//! Classifier training for RP-CLASS.
+//!
+//! The paper's ref \[22\] trains the random-projection classifier offline
+//! and ships the projection matrix and class centroids to the node. We do
+//! the same: detect beats on a labelled synthetic training recording,
+//! project their windows and average per class.
+
+use wbsn_dsp::ecg::{synthesize, BeatClass, EcgConfig, EcgRecording};
+use wbsn_dsp::mmd::MmdDelineator;
+use wbsn_dsp::rproj::{NearestCentroid, RandomProjection, RpClassifier};
+use wbsn_isa::DataSegment;
+
+use crate::layout::{
+    self, RP_CENTROID_NORMAL, RP_CENTROID_PATH, RP_DIMS, WINDOW_LEN,
+};
+
+/// Seed of the deterministic projection matrix baked into the kernels.
+pub const RP_SEED: u64 = 0x5EED_1234;
+
+/// The trained classifier constants loaded into shared memory.
+#[derive(Debug, Clone)]
+pub struct ClassifierParams {
+    projection: RandomProjection,
+    decision: NearestCentroid,
+}
+
+impl ClassifierParams {
+    /// Creates parameters from explicit stages.
+    pub fn new(projection: RandomProjection, decision: NearestCentroid) -> ClassifierParams {
+        ClassifierParams {
+            projection,
+            decision,
+        }
+    }
+
+    /// Trains on a labelled recording through the *deployed* front end:
+    /// lead 0 is conditioned with the benchmark filter, beats are
+    /// detected on the conditioned stream with the kernel's detector,
+    /// and the conditioned windows are projected; the two centroids are
+    /// per-class means. Beats whose window would reach before the start
+    /// of the recording are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recording lacks examples of either class.
+    pub fn train(recording: &EcgRecording) -> ClassifierParams {
+        let projection = RandomProjection::new_seeded(RP_DIMS as usize, WINDOW_LEN as usize, RP_SEED);
+        let cond0 = wbsn_dsp::morphology::MorphFilter::new(
+            layout::MF_OPEN_W as usize,
+            layout::MF_CLOSE_W as usize,
+            layout::MF_NOISE_W as usize,
+        )
+        .filter(&recording.leads[0]);
+        let mut detector = MmdDelineator::new(
+            layout::MMD_SMALL_W as usize,
+            layout::MMD_LARGE_W as usize,
+            layout::DET_THRESHOLD,
+            layout::DET_REFRACTORY as usize,
+        );
+        let mut normals = Vec::new();
+        let mut paths = Vec::new();
+        for point in detector.delineate(&cond0) {
+            if point.sample + 1 < WINDOW_LEN as usize {
+                continue;
+            }
+            let window = &cond0[point.sample + 1 - WINDOW_LEN as usize..=point.sample];
+            let projected = projection.project(window);
+            // Label by the nearest ground-truth beat.
+            let label = recording
+                .beats
+                .iter()
+                .min_by_key(|b| b.peak.abs_diff(point.sample))
+                .map(|b| b.class);
+            match label {
+                Some(BeatClass::Normal) => normals.push(projected),
+                Some(BeatClass::Pathological) => paths.push(projected),
+                None => {}
+            }
+        }
+        let decision = NearestCentroid::train(&normals, &paths);
+        ClassifierParams {
+            projection,
+            decision,
+        }
+    }
+
+    /// Trains on the standard synthetic training recording (500 Hz like
+    /// the evaluation inputs, balanced classes, a seed distinct from
+    /// every evaluation input).
+    pub fn default_trained() -> ClassifierParams {
+        let config = EcgConfig {
+            fs: 500,
+            duration_s: 90.0,
+            pathological_fraction: 0.5,
+            seed: 0x7EA1_0001,
+            ..EcgConfig::healthy_60s()
+        };
+        ClassifierParams::train(&synthesize(&config))
+    }
+
+    /// The golden classifier equivalent to the kernel constants.
+    pub fn classifier(&self) -> RpClassifier {
+        RpClassifier::new(self.projection.clone(), self.decision.clone())
+    }
+
+    /// The data segments to preload: ±1 projection rows and the two
+    /// centroids, at the layout's constant area.
+    pub fn data_segments(&self) -> Vec<DataSegment> {
+        let mut segments = Vec::new();
+        for k in 0..RP_DIMS as usize {
+            let words: Vec<u16> = (0..WINDOW_LEN as usize)
+                .map(|i| if self.projection.sign(k, i) { 1u16 } else { (-1i16) as u16 })
+                .collect();
+            segments.push(DataSegment::new(layout::rp_row(k), words));
+        }
+        let (normal, path) = self.decision.centroids();
+        segments.push(DataSegment::new(
+            RP_CENTROID_NORMAL,
+            normal.iter().map(|&v| v as u16).collect(),
+        ));
+        segments.push(DataSegment::new(
+            RP_CENTROID_PATH,
+            path.iter().map(|&v| v as u16).collect(),
+        ));
+        segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_dsp::rproj::BeatLabel;
+
+    #[test]
+    fn default_training_produces_usable_classifier() {
+        let params = ClassifierParams::default_trained();
+        let clf = params.classifier();
+        // Evaluate on a held-out 500 Hz recording with known beats,
+        // through the same conditioned front end as the kernels.
+        let eval = synthesize(&EcgConfig {
+            fs: 500,
+            duration_s: 60.0,
+            pathological_fraction: 0.5,
+            seed: 0xBEEF,
+            ..EcgConfig::healthy_60s()
+        });
+        let beats = crate::golden::golden_beats(&eval, &clf);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (sample, predicted) in beats {
+            let truth = eval
+                .beats
+                .iter()
+                .min_by_key(|b| b.peak.abs_diff(sample))
+                .map(|b| b.class)
+                .expect("recording has beats");
+            let expected = match truth {
+                wbsn_dsp::ecg::BeatClass::Normal => BeatLabel::Normal,
+                wbsn_dsp::ecg::BeatClass::Pathological => BeatLabel::Pathological,
+            };
+            total += 1;
+            if predicted == expected {
+                correct += 1;
+            }
+        }
+        assert!(total > 30, "detector found {total} beats");
+        let accuracy = correct as f64 / total as f64;
+        assert!(
+            accuracy > 0.8,
+            "classification accuracy {accuracy:.2} over {total} beats"
+        );
+    }
+
+    #[test]
+    fn data_segments_cover_rows_and_centroids() {
+        let params = ClassifierParams::default_trained();
+        let segments = params.data_segments();
+        assert_eq!(segments.len(), RP_DIMS as usize + 2);
+        for (k, seg) in segments.iter().take(RP_DIMS as usize).enumerate() {
+            assert_eq!(seg.base, layout::rp_row(k));
+            assert_eq!(seg.words.len(), WINDOW_LEN as usize);
+            assert!(seg
+                .words
+                .iter()
+                .all(|&w| w == 1 || w == (-1i16) as u16));
+        }
+        assert_eq!(segments[RP_DIMS as usize].base, RP_CENTROID_NORMAL);
+        assert_eq!(segments[RP_DIMS as usize + 1].base, RP_CENTROID_PATH);
+    }
+}

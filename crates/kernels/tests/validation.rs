@@ -1,0 +1,329 @@
+//! End-to-end validation: every generated benchmark, run on the cycle
+//! simulator, must reproduce the golden Rust models bit-for-bit.
+
+use wbsn_dsp::ecg::{synthesize, EcgConfig};
+use wbsn_dsp::rproj::BeatLabel;
+use wbsn_kernels::golden::{golden_beats, golden_combined, golden_filtered, golden_fiducials};
+use wbsn_kernels::layout;
+use wbsn_kernels::{build_mf, build_mmd, build_rpclass, Arch, BuildOptions, BuiltApp,
+    ClassifierParams, SyncApproach};
+use wbsn_sim::Platform;
+
+fn short_recording(seconds: f64) -> wbsn_dsp::ecg::EcgRecording {
+    synthesize(&EcgConfig {
+        duration_s: seconds,
+        ..EcgConfig::healthy_60s()
+    })
+}
+
+/// Build options with a generous sampling period (≙ a fast reference
+/// clock) so that even the heaviest single-core benchmark meets real
+/// time; the experiments derive each configuration's true minimum clock
+/// separately.
+fn generous(approach: SyncApproach) -> BuildOptions {
+    BuildOptions {
+        approach,
+        adc_period_cycles: 16_000,
+        ..BuildOptions::default()
+    }
+}
+
+/// Runs an app over a recording; the budget covers the whole stream plus
+/// slack for draining the pipeline.
+fn run_app(app: &BuiltApp, leads: Vec<Vec<i16>>) -> Platform {
+    let samples = leads[0].len() as u64;
+    let period = app.config.adc.period_cycles;
+    let budget = app.config.adc.start_cycle + (samples + 8) * period;
+    let mut platform = app.platform(leads).expect("platform builds");
+    platform.run(budget).expect("run completes without faults");
+    assert_eq!(platform.adc_overruns(), 0, "real-time violated");
+    platform
+}
+
+fn read_ring(platform: &Platform, base: u32, mask: u32, count: u32) -> Vec<i16> {
+    assert!(count <= mask + 1, "ring wrapped; shorten the test input");
+    (0..count)
+        .map(|i| platform.peek_dm(base + (i & mask)).expect("ring readable") as i16)
+        .collect()
+}
+
+fn assert_filtered_match(platform: &Platform, golden: &[Vec<i16>], min_expected: u32) {
+    for (lead, expected) in golden.iter().enumerate() {
+        let count = platform
+            .peek_dm(layout::LEAD_COUNT_BASE + lead as u32)
+            .unwrap() as u32;
+        assert!(
+            count >= min_expected,
+            "lead {lead} produced only {count} samples"
+        );
+        let got = read_ring(
+            platform,
+            layout::out_ring(lead),
+            layout::OUT_RING_LEN - 1,
+            count,
+        );
+        assert_eq!(
+            &got[..],
+            &expected[..count as usize],
+            "lead {lead} filtered output"
+        );
+    }
+}
+
+#[test]
+fn mf_single_core_matches_golden() {
+    let rec = short_recording(3.0);
+    let app = build_mf(Arch::SingleCore, &generous(SyncApproach::Hardware)).unwrap();
+    let platform = run_app(&app, rec.leads.clone());
+    let golden = golden_filtered(&rec);
+    let n = rec.leads[0].len() as u32;
+    assert_filtered_match(&platform, &golden, n);
+    // The baseline sleeps between samples at this generous period.
+    assert!(platform.stats().cores[0].gated_cycles > 0);
+}
+
+#[test]
+fn mf_multi_core_hardware_matches_golden_and_broadcasts() {
+    let rec = short_recording(3.0);
+    let app = build_mf(Arch::MultiCore, &BuildOptions::default()).unwrap();
+    let platform = run_app(&app, rec.leads.clone());
+    let golden = golden_filtered(&rec);
+    assert_filtered_match(&platform, &golden, rec.leads[0].len() as u32);
+
+    let stats = platform.stats();
+    // Lock-step execution of the shared phase merges instruction fetches.
+    let pct = stats.im.broadcast_percent();
+    assert!(pct > 20.0, "IM broadcast only {pct:.1}%");
+    // The synchronizer fired barriers and gated cores.
+    assert!(platform.synchronizer().stats().fires > 100);
+    for core in 0..3 {
+        assert!(stats.cores[core].gated_cycles > 0, "core {core} never slept");
+    }
+}
+
+#[test]
+fn mf_multi_core_preloaded_barrier_matches_golden_with_less_overhead() {
+    use wbsn_kernels::app::BarrierStyle;
+    let rec = short_recording(2.0);
+    let sincsdec = build_mf(Arch::MultiCore, &BuildOptions::default()).unwrap();
+    let preloaded = build_mf(
+        Arch::MultiCore,
+        &BuildOptions {
+            barrier: BarrierStyle::Preloaded,
+            ..BuildOptions::default()
+        },
+    )
+    .unwrap();
+    // The preloaded barrier removes the entry SINC from the hot loop.
+    assert!(preloaded.image.sync_words() < sincsdec.image.sync_words());
+    assert!(!preloaded.preloads.is_empty());
+    let platform = run_app(&preloaded, rec.leads.clone());
+    let golden = golden_filtered(&rec);
+    assert_filtered_match(&platform, &golden, rec.leads[0].len() as u32);
+    // Barriers still fire every sample and cores still gate.
+    assert!(platform.synchronizer().stats().fires > 100);
+    assert!(
+        platform.stats().runtime_overhead_percent()
+            < run_app(&sincsdec, rec.leads.clone())
+                .stats()
+                .runtime_overhead_percent()
+    );
+}
+
+#[test]
+fn mf_multi_core_busy_wait_matches_golden_without_gating() {
+    let rec = short_recording(2.0);
+    let options = BuildOptions {
+        approach: SyncApproach::BusyWait,
+        ..BuildOptions::default()
+    };
+    let app = build_mf(Arch::MultiCore, &options).unwrap();
+    let platform = run_app(&app, rec.leads.clone());
+    let golden = golden_filtered(&rec);
+    assert_filtered_match(&platform, &golden, rec.leads[0].len() as u32);
+    let stats = platform.stats();
+    for core in 0..3 {
+        assert_eq!(stats.cores[core].gated_cycles, 0, "core {core} gated");
+    }
+    assert_eq!(platform.synchronizer().stats().fires, 0);
+}
+
+fn assert_mmd_outputs(platform: &Platform, rec: &wbsn_dsp::ecg::EcgRecording) {
+    let golden_f = golden_filtered(rec);
+    let combined = golden_combined(&golden_f);
+    let fiducials = golden_fiducials(&combined);
+
+    let ccount = platform.peek_dm(layout::COMBINED_COUNT).unwrap() as u32;
+    assert!(ccount as usize >= combined.len() - 2, "combined {ccount}");
+    let got_combined = read_ring(
+        platform,
+        layout::COMBINED_RING,
+        layout::COMBINED_RING_LEN - 1,
+        ccount,
+    );
+    assert_eq!(&got_combined[..], &combined[..ccount as usize]);
+
+    let ecount = platform.peek_dm(layout::EVENT_COUNT).unwrap() as usize;
+    assert_eq!(ecount, fiducials.len(), "fiducial count");
+    for (i, f) in fiducials.iter().enumerate() {
+        let slot = layout::EVENT_RING + 4 * (i as u32 & (layout::EVENT_RING_LEN - 1));
+        let onset = platform.peek_dm(slot).unwrap() as usize;
+        let sample = platform.peek_dm(slot + 1).unwrap() as usize;
+        let strength = platform.peek_dm(slot + 2).unwrap() as i16;
+        assert_eq!(onset, f.onset, "event {i} onset");
+        assert_eq!(sample, f.sample, "event {i} position");
+        assert_eq!(strength, f.strength, "event {i} strength");
+    }
+}
+
+#[test]
+fn mmd_single_core_matches_golden() {
+    let rec = short_recording(3.0);
+    let app = build_mmd(Arch::SingleCore, &generous(SyncApproach::Hardware)).unwrap();
+    let platform = run_app(&app, rec.leads.clone());
+    assert_mmd_outputs(&platform, &rec);
+}
+
+#[test]
+fn mmd_multi_core_hardware_matches_golden() {
+    let rec = short_recording(3.0);
+    let app = build_mmd(Arch::MultiCore, &BuildOptions::default()).unwrap();
+    let platform = run_app(&app, rec.leads.clone());
+    assert_mmd_outputs(&platform, &rec);
+    // Both kinds of synchronization are exercised.
+    let sync = platform.synchronizer().stats();
+    assert!(sync.fires > 100);
+    assert!(sync.merged > 0, "simultaneous requests were merged");
+    // All five cores participated.
+    for core in 0..5 {
+        assert!(
+            platform.stats().cores[core].instructions > 0,
+            "core {core} idle"
+        );
+    }
+}
+
+#[test]
+fn mmd_multi_core_busy_wait_matches_golden() {
+    let rec = short_recording(2.0);
+    let options = BuildOptions {
+        approach: SyncApproach::BusyWait,
+        ..BuildOptions::default()
+    };
+    let app = build_mmd(Arch::MultiCore, &options).unwrap();
+    let platform = run_app(&app, rec.leads.clone());
+    assert_mmd_outputs(&platform, &rec);
+}
+
+fn pathological_recording(seconds: f64, fraction: f64) -> wbsn_dsp::ecg::EcgRecording {
+    synthesize(&EcgConfig {
+        duration_s: seconds,
+        pathological_fraction: fraction,
+        seed: 0xE7A1,
+        ..EcgConfig::healthy_60s()
+    })
+}
+
+fn assert_rpclass_labels(platform: &Platform, rec: &wbsn_dsp::ecg::EcgRecording,
+    params: &ClassifierParams) {
+    let golden = golden_beats(rec, &params.classifier());
+    let beat_count = platform.peek_dm(layout::BEAT_COUNT).unwrap() as usize;
+    assert_eq!(beat_count, golden.len(), "beat count");
+    let path_count = platform.peek_dm(layout::PATH_COUNT).unwrap() as usize;
+    let golden_path = golden
+        .iter()
+        .filter(|(_, l)| *l == BeatLabel::Pathological)
+        .count();
+    assert_eq!(path_count, golden_path, "pathological count");
+    for (i, (_, label)) in golden.iter().enumerate() {
+        let slot = layout::LABEL_RING + (i as u32 & (layout::LABEL_RING_LEN - 1));
+        let got = platform.peek_dm(slot).unwrap();
+        let expected = match label {
+            BeatLabel::Normal => 0,
+            BeatLabel::Pathological => 1,
+        };
+        assert_eq!(got, expected, "beat {i} label");
+    }
+}
+
+fn assert_rpclass_chain(platform: &Platform, rec: &wbsn_dsp::ecg::EcgRecording,
+    params: &ClassifierParams) {
+    use wbsn_kernels::golden::golden_rp_chain;
+    let (combined, events) = golden_rp_chain(rec, &params.classifier());
+    // Compare each ring slot against its *last* golden writer (absolute
+    // indices alias modulo the ring length).
+    let mask = layout::COMBINED_RING_LEN - 1;
+    let mut last_writer = std::collections::BTreeMap::new();
+    for &(idx, value) in &combined {
+        last_writer.insert(idx as u32 & mask, (idx, value));
+    }
+    for (&slot, &(idx, value)) in &last_writer {
+        let got = platform
+            .peek_dm(layout::COMBINED_RING + slot)
+            .unwrap() as i16;
+        assert_eq!(got, value, "combined[{idx}] (slot {slot})");
+    }
+    // Fiducial events, in order and bit-exact.
+    let ecount = platform.peek_dm(layout::EVENT_COUNT).unwrap() as usize;
+    assert_eq!(ecount, events.len(), "event count");
+    for (i, &(onset, idx, strength)) in events.iter().enumerate() {
+        let slot = layout::EVENT_RING + 4 * (i as u32 & (layout::EVENT_RING_LEN - 1));
+        assert_eq!(platform.peek_dm(slot).unwrap() as usize, onset, "event {i} onset");
+        assert_eq!(
+            platform.peek_dm(slot + 1).unwrap() as usize,
+            idx,
+            "event {i} index"
+        );
+        assert_eq!(
+            platform.peek_dm(slot + 2).unwrap() as i16,
+            strength,
+            "event {i} strength"
+        );
+    }
+}
+
+#[test]
+fn rpclass_single_core_classifies_like_golden() {
+    let params = ClassifierParams::default_trained();
+    let rec = pathological_recording(6.0, 0.4);
+    let app = build_rpclass(Arch::SingleCore, &generous(SyncApproach::Hardware), &params).unwrap();
+    let platform = run_app(&app, rec.leads.clone());
+    assert_rpclass_labels(&platform, &rec, &params);
+    // Pathological beats activated the delineation data path, and the
+    // whole chain reproduces the golden burst pipeline bit-for-bit.
+    assert!(platform.peek_dm(layout::PATH_COUNT).unwrap() > 0);
+    assert_rpclass_chain(&platform, &rec, &params);
+}
+
+#[test]
+fn rpclass_multi_core_classifies_like_golden_and_gates_the_chain() {
+    let params = ClassifierParams::default_trained();
+    let rec = pathological_recording(6.0, 0.4);
+    let app = build_rpclass(Arch::MultiCore, &generous(SyncApproach::Hardware), &params).unwrap();
+    let platform = run_app(&app, rec.leads.clone());
+    assert_rpclass_labels(&platform, &rec, &params);
+    assert_rpclass_chain(&platform, &rec, &params);
+    // The chain (burst conditioners, combiner, delineator) is mostly
+    // asleep: its duty cycle is far below the always-on conditioner's.
+    let stats = platform.stats();
+    let cond0_duty = stats.cores[1].duty_cycle();
+    for core in [2usize, 3, 4, 5] {
+        assert!(
+            stats.cores[core].duty_cycle() < cond0_duty,
+            "chain core {core} busier than the always-on conditioner"
+        );
+    }
+}
+
+#[test]
+fn rpclass_healthy_input_never_activates_the_chain() {
+    let params = ClassifierParams::default_trained();
+    let rec = short_recording(6.0);
+    let app = build_rpclass(Arch::MultiCore, &generous(SyncApproach::Hardware), &params).unwrap();
+    let platform = run_app(&app, rec.leads.clone());
+    assert_eq!(platform.peek_dm(layout::PATH_COUNT).unwrap(), 0);
+    assert_eq!(platform.peek_dm(layout::COMBINED_COUNT).unwrap(), 0);
+    assert_eq!(platform.peek_dm(layout::EVENT_COUNT).unwrap(), 0);
+    // Beats were still detected and classified as normal.
+    assert!(platform.peek_dm(layout::BEAT_COUNT).unwrap() > 3);
+}

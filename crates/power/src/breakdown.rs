@@ -1,0 +1,90 @@
+//! The Fig. 6 power decomposition.
+
+use std::fmt;
+
+/// Average power split into the components of the paper's Fig. 6, in
+/// microwatts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Cores, core-side logic and the synchronizer.
+    pub cores_and_logic_uw: f64,
+    /// Program (instruction) memory banks.
+    pub prog_mem_uw: f64,
+    /// Data memory banks.
+    pub data_mem_uw: f64,
+    /// Crossbars (multi-core) or decoders (baseline).
+    pub interconnect_uw: f64,
+    /// Clock tree (trunk + branches to clocked cores).
+    pub clock_tree_uw: f64,
+}
+
+impl PowerBreakdown {
+    /// Total average power in microwatts.
+    pub fn total_uw(&self) -> f64 {
+        self.cores_and_logic_uw
+            + self.prog_mem_uw
+            + self.data_mem_uw
+            + self.interconnect_uw
+            + self.clock_tree_uw
+    }
+
+    /// Each component as a share of the total, in percent, in the order
+    /// (cores, program memory, data memory, interconnect, clock tree).
+    pub fn shares_percent(&self) -> [f64; 5] {
+        let total = self.total_uw();
+        if total == 0.0 {
+            return [0.0; 5];
+        }
+        [
+            100.0 * self.cores_and_logic_uw / total,
+            100.0 * self.prog_mem_uw / total,
+            100.0 * self.data_mem_uw / total,
+            100.0 * self.interconnect_uw / total,
+            100.0 * self.clock_tree_uw / total,
+        ]
+    }
+}
+
+impl fmt::Display for PowerBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cores & logic : {:8.2} uW", self.cores_and_logic_uw)?;
+        writeln!(f, "prog mem      : {:8.2} uW", self.prog_mem_uw)?;
+        writeln!(f, "data mem      : {:8.2} uW", self.data_mem_uw)?;
+        writeln!(f, "interconnect  : {:8.2} uW", self.interconnect_uw)?;
+        writeln!(f, "clock tree    : {:8.2} uW", self.clock_tree_uw)?;
+        write!(f, "total         : {:8.2} uW", self.total_uw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_shares() {
+        let b = PowerBreakdown {
+            cores_and_logic_uw: 10.0,
+            prog_mem_uw: 20.0,
+            data_mem_uw: 10.0,
+            interconnect_uw: 5.0,
+            clock_tree_uw: 5.0,
+        };
+        assert!((b.total_uw() - 50.0).abs() < 1e-12);
+        let shares = b.shares_percent();
+        assert!((shares.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((shares[1] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_breakdown_has_zero_shares() {
+        assert_eq!(PowerBreakdown::default().shares_percent(), [0.0; 5]);
+    }
+
+    #[test]
+    fn display_lists_every_component() {
+        let text = PowerBreakdown::default().to_string();
+        for needle in ["cores", "prog", "data", "interconnect", "clock", "total"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Integrating simulation statistics into average power.
+
+use wbsn_sim::{InterconnectKind, PlatformConfig, SimStats};
+
+use crate::breakdown::PowerBreakdown;
+use crate::characterization::EnergyTable;
+use crate::vfs::OperatingPoint;
+
+/// Which platform instances are powered during the run — the power-off
+/// decisions the paper's mapping step makes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Activity {
+    /// Cores that are powered (participate in the workload).
+    pub cores_powered: usize,
+    /// Instruction banks that must stay powered (those holding code).
+    pub im_banks_powered: usize,
+    /// Data banks that must stay powered. In the multi-core platform
+    /// this is *all* of them, because the ATU interleaves the shared
+    /// section across every bank (paper §V-A); the baseline powers only
+    /// the banks its footprint touches.
+    pub dm_banks_powered: usize,
+}
+
+impl Activity {
+    /// Derives the powered-instance counts from a run and its platform
+    /// configuration, given the number of instruction banks holding code.
+    pub fn derive(stats: &SimStats, config: &PlatformConfig, im_banks_with_code: usize) -> Activity {
+        let cores_powered = stats
+            .cores
+            .iter()
+            .filter(|c| c.active_cycles + c.gated_cycles > 0)
+            .count()
+            .max(1);
+        let dm_banks_powered = match config.interconnect {
+            InterconnectKind::Crossbar => wbsn_isa::DM_BANKS,
+            InterconnectKind::Decoder => stats.dm.touched_banks().max(1),
+        };
+        Activity {
+            cores_powered,
+            im_banks_powered: im_banks_with_code.max(1),
+            dm_banks_powered,
+        }
+    }
+}
+
+/// The power model: a characterization table applied at an operating
+/// point.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_power::{Activity, EnergyTable, PowerModel, VfsTable, Interconnect};
+/// use wbsn_sim::{PlatformConfig, SimStats};
+///
+/// let model = PowerModel::default();
+/// let mut stats = SimStats::new(1);
+/// stats.cycles = 1_000_000; // one second at 1 MHz
+/// stats.cores[0].active_cycles = 500_000;
+/// let activity = Activity { cores_powered: 1, im_banks_powered: 1, dm_banks_powered: 3 };
+/// let op = VfsTable::default().min_point_for(1.0e6, Interconnect::Decoder).unwrap();
+/// let config = PlatformConfig::single_core();
+/// let breakdown = model.average_power(&stats, &config, activity, op, 1.0e6);
+/// assert!(breakdown.total_uw() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PowerModel {
+    table: EnergyTable,
+}
+
+impl PowerModel {
+    /// Creates a model from a characterization table.
+    pub fn new(table: EnergyTable) -> PowerModel {
+        PowerModel { table }
+    }
+
+    /// The characterization table in use.
+    pub fn table(&self) -> &EnergyTable {
+        &self.table
+    }
+
+    /// Integrates a run into the Fig. 6 decomposition.
+    ///
+    /// `op` is the supply operating point and `clock_hz` the actual clock
+    /// (at or below `op`'s maximum for the platform's interconnect);
+    /// `stats.cycles / clock_hz` defines the wall-clock duration over
+    /// which dynamic energy is averaged and leakage accrues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz` is not positive or the run has zero cycles.
+    pub fn average_power(
+        &self,
+        stats: &SimStats,
+        config: &PlatformConfig,
+        activity: Activity,
+        op: OperatingPoint,
+        clock_hz: f64,
+    ) -> PowerBreakdown {
+        assert!(clock_hz > 0.0, "clock must be positive");
+        assert!(stats.cycles > 0, "run must simulate at least one cycle");
+        let t = &self.table;
+        let dyn_scale = EnergyTable::dynamic_scale(op.voltage);
+        let leak_scale = EnergyTable::leakage_scale(op.voltage);
+        let seconds = stats.cycles as f64 / clock_hz;
+        // pJ of dynamic energy over the run → µW of average power.
+        let uw_dyn = |pj: f64| pj * dyn_scale * 1e-12 / seconds * 1e6;
+        // nW of nominal leakage → µW at the operating point.
+        let uw_leak = |nw: f64| nw * leak_scale * 1e-3;
+
+        let active: f64 = stats.total_active_cycles() as f64;
+        let gated: f64 = stats.cores.iter().map(|c| c.gated_cycles as f64).sum();
+        let sync_ops: f64 = stats.cores.iter().map(|c| c.sync_ops as f64).sum();
+
+        let cores_and_logic_uw = uw_dyn(
+            active * t.core_active_cycle_pj
+                + gated * t.core_gated_cycle_pj
+                + sync_ops * t.sync_op_pj
+                + (stats.mmio_reads + stats.mmio_writes) as f64 * t.mmio_access_pj,
+        ) + uw_leak(activity.cores_powered as f64 * t.core_leak_nw)
+            + if config.interconnect == InterconnectKind::Crossbar {
+                uw_leak(t.sync_unit_leak_nw)
+            } else {
+                0.0
+            };
+
+        let im_reads: f64 = stats.im.reads.iter().sum::<u64>() as f64;
+        let prog_mem_uw = uw_dyn(im_reads * t.im_read_pj)
+            + uw_leak(activity.im_banks_powered as f64 * t.im_bank_leak_nw);
+
+        let dm_reads: f64 = stats.dm.reads.iter().sum::<u64>() as f64 + stats.sync_region_reads as f64;
+        let dm_writes: f64 =
+            stats.dm.writes.iter().sum::<u64>() as f64 + stats.sync_region_writes as f64;
+        let data_mem_uw = uw_dyn(dm_reads * t.dm_read_pj + dm_writes * t.dm_write_pj)
+            + uw_leak(activity.dm_banks_powered as f64 * t.dm_bank_leak_nw);
+
+        let interconnect_uw = match config.interconnect {
+            InterconnectKind::Crossbar => {
+                uw_dyn((stats.xbar_im + stats.xbar_dm) as f64 * t.xbar_traversal_pj)
+                    + uw_leak(t.xbar_leak_nw)
+            }
+            InterconnectKind::Decoder => {
+                let accesses = im_reads + dm_reads + dm_writes;
+                uw_dyn(accesses * t.decoder_access_pj) + uw_leak(t.decoder_leak_nw)
+            }
+        };
+
+        let trunk = match config.interconnect {
+            InterconnectKind::Crossbar => t.clock_trunk_mc_pj,
+            InterconnectKind::Decoder => t.clock_trunk_sc_pj,
+        };
+        let clock_tree_uw =
+            uw_dyn(stats.cycles as f64 * trunk + active * t.clock_branch_pj);
+
+        PowerBreakdown {
+            cores_and_logic_uw,
+            prog_mem_uw,
+            data_mem_uw,
+            interconnect_uw,
+            clock_tree_uw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{Interconnect, VfsTable};
+
+    fn busy_sc_stats(cycles: u64, duty: f64) -> SimStats {
+        let mut s = SimStats::new(1);
+        s.cycles = cycles;
+        let active = (cycles as f64 * duty) as u64;
+        s.cores[0].active_cycles = active;
+        s.cores[0].gated_cycles = cycles - active;
+        s.cores[0].instructions = active * 9 / 10;
+        s.im.reads[0] = active * 9 / 10;
+        s.dm.reads[0] = active / 5;
+        s.dm.writes[0] = active / 10;
+        s
+    }
+
+    #[test]
+    fn single_core_power_lands_in_table_i_ballpark() {
+        // 2.3 MHz, 0.6 V, ~90% duty: the paper reports 53.6 µW.
+        let model = PowerModel::default();
+        let f = 2.3e6;
+        let stats = busy_sc_stats(2_300_000, 0.90);
+        let config = PlatformConfig::single_core();
+        let activity = Activity {
+            cores_powered: 1,
+            im_banks_powered: 1,
+            dm_banks_powered: 3,
+        };
+        let op = VfsTable::default()
+            .min_point_for(f, Interconnect::Decoder)
+            .unwrap();
+        let b = model.average_power(&stats, &config, activity, op, f);
+        let total = b.total_uw();
+        assert!(
+            (25.0..110.0).contains(&total),
+            "expected tens of µW, got {total}"
+        );
+        // Program memory is a first-order component in this regime.
+        assert!(b.prog_mem_uw > 0.2 * total);
+    }
+
+    #[test]
+    fn voltage_scaling_reduces_power_quadratically() {
+        let model = PowerModel::default();
+        let stats = busy_sc_stats(1_000_000, 1.0);
+        let config = PlatformConfig::single_core();
+        let activity = Activity {
+            cores_powered: 1,
+            im_banks_powered: 1,
+            dm_banks_powered: 1,
+        };
+        let vfs = VfsTable::default();
+        let p06 = vfs.points()[1];
+        let p12 = vfs.points()[7];
+        let low = model.average_power(&stats, &config, activity, p06, 1.0e6);
+        let high = model.average_power(&stats, &config, activity, p12, 1.0e6);
+        assert!(low.total_uw() < 0.3 * high.total_uw());
+    }
+
+    #[test]
+    fn gated_cycles_are_nearly_free() {
+        let model = PowerModel::default();
+        let config = PlatformConfig::single_core();
+        let activity = Activity {
+            cores_powered: 1,
+            im_banks_powered: 1,
+            dm_banks_powered: 1,
+        };
+        let op = VfsTable::default().points()[0];
+        let busy = model.average_power(&busy_sc_stats(1_000_000, 1.0), &config, activity, op, 1e6);
+        let idle = model.average_power(&busy_sc_stats(1_000_000, 0.05), &config, activity, op, 1e6);
+        assert!(idle.total_uw() < 0.25 * busy.total_uw());
+    }
+
+    #[test]
+    fn crossbar_platform_charges_interconnect_and_sync_leakage() {
+        let model = PowerModel::default();
+        let mut stats = SimStats::new(8);
+        stats.cycles = 1_000_000;
+        stats.cores[0].active_cycles = 500_000;
+        stats.xbar_im = 450_000;
+        stats.xbar_dm = 100_000;
+        let config = PlatformConfig::multi_core();
+        let activity = Activity {
+            cores_powered: 3,
+            im_banks_powered: 1,
+            dm_banks_powered: 16,
+        };
+        let op = VfsTable::default().points()[0];
+        let b = model.average_power(&stats, &config, activity, op, 1e6);
+        assert!(b.interconnect_uw > 0.0);
+        // All 16 banks leak even if untouched.
+        let t = model.table();
+        let dm_leak = 16.0 * t.dm_bank_leak_nw * EnergyTable::leakage_scale(0.5) * 1e-3;
+        assert!(b.data_mem_uw >= dm_leak * 0.99);
+    }
+
+    #[test]
+    fn activity_derivation() {
+        let mut stats = SimStats::new(8);
+        stats.cores[0].active_cycles = 10;
+        stats.cores[1].gated_cycles = 5;
+        stats.dm.reads[2] = 1;
+        stats.dm.writes[9] = 1;
+        let mc = Activity::derive(&stats, &PlatformConfig::multi_core(), 2);
+        assert_eq!(mc.cores_powered, 2);
+        assert_eq!(mc.im_banks_powered, 2);
+        assert_eq!(mc.dm_banks_powered, 16);
+        let sc = Activity::derive(&stats, &PlatformConfig::single_core(), 1);
+        assert_eq!(sc.dm_banks_powered, 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Minimum-clock selection under the real-time constraint.
+//!
+//! The evaluated benchmarks were "optimized to be executed ... meeting
+//! real-time constraints ... the system clock frequency is reduced to the
+//! minimum in order to exploit the benefits of voltage-frequency scaling"
+//! (paper §V-A). The platform's busy-cycle counts are clock-independent,
+//! so the minimum feasible clock follows directly from the worst number
+//! of active cycles any core needs within one sampling period.
+
+use wbsn_sim::SimStats;
+
+/// The derived clock requirement of one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyRequirement {
+    /// Worst active cycles demanded by any core within one sampling
+    /// period.
+    pub worst_window_cycles: u64,
+    /// The sampling period in seconds.
+    pub sample_period_s: f64,
+    /// Guard band applied on top of the worst case.
+    pub guard: f64,
+    /// The resulting minimum clock in Hz.
+    pub required_hz: f64,
+}
+
+/// Computes the minimum clock frequency that keeps every core's
+/// worst-case work inside one sampling period, with a multiplicative
+/// `guard` band (e.g. `0.1` for 10%).
+///
+/// # Panics
+///
+/// Panics if `sample_period_s` is not positive.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_power::required_frequency;
+/// use wbsn_sim::SimStats;
+///
+/// let mut stats = SimStats::new(1);
+/// stats.cores[0].max_window_active = 8000; // cycles per 4 ms sample
+/// let req = required_frequency(&stats, 0.004, 0.1);
+/// assert!((req.required_hz - 2_200_000.0).abs() < 1.0);
+/// ```
+pub fn required_frequency(
+    stats: &SimStats,
+    sample_period_s: f64,
+    guard: f64,
+) -> FrequencyRequirement {
+    assert!(sample_period_s > 0.0, "sample period must be positive");
+    let worst = stats.worst_window_active();
+    let required_hz = worst as f64 / sample_period_s * (1.0 + guard);
+    FrequencyRequirement {
+        worst_window_cycles: worst,
+        sample_period_s,
+        guard,
+        required_hz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_with_worst_window() {
+        let mut stats = SimStats::new(2);
+        stats.cores[0].max_window_active = 1000;
+        stats.cores[1].max_window_active = 3000;
+        let req = required_frequency(&stats, 0.004, 0.0);
+        assert_eq!(req.worst_window_cycles, 3000);
+        assert!((req.required_hz - 750_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn guard_band_inflates() {
+        let mut stats = SimStats::new(1);
+        stats.cores[0].max_window_active = 1000;
+        let base = required_frequency(&stats, 0.004, 0.0).required_hz;
+        let guarded = required_frequency(&stats, 0.004, 0.25).required_hz;
+        assert!((guarded / base - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_run_requires_nothing() {
+        let stats = SimStats::new(1);
+        let req = required_frequency(&stats, 0.004, 0.1);
+        assert_eq!(req.required_hz, 0.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Voltage-frequency scaling: operating points and interconnect-dependent
+//! maximum clock.
+//!
+//! The single-core baseline replaces the crossbars with simple decoders,
+//! "allowing higher clock frequencies at the same voltage level" (paper
+//! §IV-B); conversely, the crossbar platform pays a critical-path penalty
+//! but can drop to a lower voltage when the required clock is low — the
+//! essence of the paper's energy argument.
+
+/// Which interconnect closes the platform's critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interconnect {
+    /// Combinational crossbars (multi-core).
+    Crossbar,
+    /// Address decoders (single-core baseline).
+    Decoder,
+}
+
+/// One voltage level with the maximum clock attainable per interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage in volts.
+    pub voltage: f64,
+    /// Maximum clock with crossbar interconnect, Hz.
+    pub fmax_crossbar_hz: f64,
+    /// Maximum clock with decoder interconnect, Hz.
+    pub fmax_decoder_hz: f64,
+}
+
+impl OperatingPoint {
+    /// The maximum clock for `interconnect` at this voltage.
+    pub fn fmax(&self, interconnect: Interconnect) -> f64 {
+        match interconnect {
+            Interconnect::Crossbar => self.fmax_crossbar_hz,
+            Interconnect::Decoder => self.fmax_decoder_hz,
+        }
+    }
+}
+
+/// The discrete voltage levels the regulator supports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VfsTable {
+    points: Vec<OperatingPoint>,
+    /// Lowest clock the platform's timing sources support, Hz.
+    pub min_clock_hz: f64,
+}
+
+impl VfsTable {
+    /// The default 90 nm low-leakage characterization, anchored so that a
+    /// ~1 MHz crossbar platform reaches 0.5 V while a 2.3–3.4 MHz decoder
+    /// platform needs 0.6 V — the regime of Table I.
+    pub fn ninety_nm_low_leakage() -> VfsTable {
+        let p = |voltage: f64, xbar_mhz: f64, dec_mhz: f64| OperatingPoint {
+            voltage,
+            fmax_crossbar_hz: xbar_mhz * 1e6,
+            fmax_decoder_hz: dec_mhz * 1e6,
+        };
+        VfsTable {
+            points: vec![
+                p(0.5, 1.2, 2.0),
+                p(0.6, 3.6, 4.8),
+                p(0.7, 8.0, 10.0),
+                p(0.8, 16.0, 20.0),
+                p(0.9, 28.0, 34.0),
+                p(1.0, 40.0, 48.0),
+                p(1.1, 60.0, 70.0),
+                p(1.2, 80.0, 96.0),
+            ],
+            min_clock_hz: 1.0e6,
+        }
+    }
+
+    /// The operating points in ascending voltage order.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// The lowest-voltage point whose `fmax` meets `required_hz` for the
+    /// given interconnect, or `None` when even the nominal voltage is too
+    /// slow.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wbsn_power::{Interconnect, VfsTable};
+    ///
+    /// let vfs = VfsTable::ninety_nm_low_leakage();
+    /// let mc = vfs.min_point_for(1_000_000.0, Interconnect::Crossbar).unwrap();
+    /// assert!((mc.voltage - 0.5).abs() < 1e-9);
+    /// let sc = vfs.min_point_for(3_400_000.0, Interconnect::Decoder).unwrap();
+    /// assert!((sc.voltage - 0.6).abs() < 1e-9);
+    /// ```
+    pub fn min_point_for(
+        &self,
+        required_hz: f64,
+        interconnect: Interconnect,
+    ) -> Option<OperatingPoint> {
+        self.points
+            .iter()
+            .find(|p| p.fmax(interconnect) >= required_hz)
+            .copied()
+    }
+
+    /// Clamps a required clock to the platform's minimum.
+    pub fn clamp_clock(&self, required_hz: f64) -> f64 {
+        required_hz.max(self.min_clock_hz)
+    }
+}
+
+impl Default for VfsTable {
+    fn default() -> Self {
+        VfsTable::ninety_nm_low_leakage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_monotonic() {
+        let vfs = VfsTable::default();
+        for w in vfs.points().windows(2) {
+            assert!(w[0].voltage < w[1].voltage);
+            assert!(w[0].fmax_crossbar_hz < w[1].fmax_crossbar_hz);
+            assert!(w[0].fmax_decoder_hz < w[1].fmax_decoder_hz);
+        }
+    }
+
+    #[test]
+    fn decoder_is_always_faster_than_crossbar() {
+        for p in VfsTable::default().points() {
+            assert!(p.fmax_decoder_hz > p.fmax_crossbar_hz);
+        }
+    }
+
+    #[test]
+    fn selection_matches_table_i_regime() {
+        let vfs = VfsTable::default();
+        // MC at its 1 MHz floor fits 0.5 V.
+        let mc = vfs
+            .min_point_for(1.0e6, Interconnect::Crossbar)
+            .expect("feasible");
+        assert!((mc.voltage - 0.5).abs() < 1e-9);
+        // SC at 2.3–3.4 MHz needs 0.6 V.
+        for f in [2.3e6, 3.3e6, 3.4e6] {
+            let sc = vfs
+                .min_point_for(f, Interconnect::Decoder)
+                .expect("feasible");
+            assert!((sc.voltage - 0.6).abs() < 1e-9, "f = {f}");
+        }
+    }
+
+    #[test]
+    fn infeasible_requirement_returns_none() {
+        let vfs = VfsTable::default();
+        assert!(vfs.min_point_for(1e9, Interconnect::Decoder).is_none());
+    }
+
+    #[test]
+    fn clock_floor() {
+        let vfs = VfsTable::default();
+        assert_eq!(vfs.clamp_clock(200_000.0), 1.0e6);
+        assert_eq!(vfs.clamp_clock(2.0e6), 2.0e6);
+    }
+}

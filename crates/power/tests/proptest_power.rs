@@ -1,0 +1,129 @@
+//! Property tests on the power model: monotonicity and scaling laws.
+
+use proptest::prelude::*;
+use wbsn_power::{Activity, EnergyTable, Interconnect, PowerModel, VfsTable};
+use wbsn_sim::{PlatformConfig, SimStats};
+
+fn stats_with(cycles: u64, active: u64, im_reads: u64, dm_reads: u64) -> SimStats {
+    let mut s = SimStats::new(1);
+    s.cycles = cycles.max(1);
+    s.cores[0].active_cycles = active.min(s.cycles);
+    s.cores[0].gated_cycles = s.cycles - s.cores[0].active_cycles;
+    s.im.reads[0] = im_reads;
+    s.dm.reads[0] = dm_reads;
+    s
+}
+
+fn activity() -> Activity {
+    Activity {
+        cores_powered: 1,
+        im_banks_powered: 1,
+        dm_banks_powered: 2,
+    }
+}
+
+proptest! {
+    /// More activity never costs less power (same duration, same
+    /// operating point).
+    #[test]
+    fn power_is_monotone_in_activity(
+        cycles in 1_000u64..1_000_000,
+        a1 in 0u64..1_000_000,
+        a2 in 0u64..1_000_000,
+    ) {
+        let model = PowerModel::default();
+        let config = PlatformConfig::single_core();
+        let op = VfsTable::default().points()[1];
+        let f = 1.0e6;
+        let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        let p_lo = model
+            .average_power(&stats_with(cycles, lo, lo, lo / 4), &config, activity(), op, f)
+            .total_uw();
+        let p_hi = model
+            .average_power(&stats_with(cycles, hi, hi, hi / 4), &config, activity(), op, f)
+            .total_uw();
+        prop_assert!(p_lo <= p_hi + 1e-9, "{p_lo} > {p_hi}");
+    }
+
+    /// Higher supply voltage never costs less power for the same run.
+    #[test]
+    fn power_is_monotone_in_voltage(
+        cycles in 1_000u64..100_000,
+        active in 0u64..100_000,
+        op_a in 0usize..8,
+        op_b in 0usize..8,
+    ) {
+        let model = PowerModel::default();
+        let config = PlatformConfig::single_core();
+        let vfs = VfsTable::default();
+        let stats = stats_with(cycles, active, active, active / 3);
+        let f = 1.0e6;
+        let (lo, hi) = if op_a <= op_b { (op_a, op_b) } else { (op_b, op_a) };
+        let p_lo = model
+            .average_power(&stats, &config, activity(), vfs.points()[lo], f)
+            .total_uw();
+        let p_hi = model
+            .average_power(&stats, &config, activity(), vfs.points()[hi], f)
+            .total_uw();
+        prop_assert!(p_lo <= p_hi + 1e-9);
+    }
+
+    /// Scaling every dynamic event count and the cycle count by the same
+    /// factor leaves average power unchanged (it is an average).
+    #[test]
+    fn average_power_is_scale_invariant(
+        cycles in 1_000u64..50_000,
+        active in 1u64..50_000,
+        k in 2u64..8,
+    ) {
+        let model = PowerModel::default();
+        let config = PlatformConfig::single_core();
+        let op = VfsTable::default().points()[2];
+        let f = 2.0e6;
+        let a = active.min(cycles);
+        let dm = a / 2; // fixed before scaling so integer division cannot skew
+        let p1 = model
+            .average_power(&stats_with(cycles, a, a, dm), &config, activity(), op, f)
+            .total_uw();
+        let pk = model
+            .average_power(
+                &stats_with(cycles * k, a * k, a * k, dm * k),
+                &config,
+                activity(),
+                op,
+                f,
+            )
+            .total_uw();
+        prop_assert!((p1 - pk).abs() < p1 * 1e-6 + 1e-9, "{p1} vs {pk}");
+    }
+
+    /// The VFS selector always returns the cheapest feasible voltage:
+    /// no lower table entry satisfies the requirement.
+    #[test]
+    fn vfs_selection_is_minimal(required_mhz in 0.1f64..100.0) {
+        let vfs = VfsTable::default();
+        let required = required_mhz * 1e6;
+        for interconnect in [Interconnect::Crossbar, Interconnect::Decoder] {
+            if let Some(op) = vfs.min_point_for(required, interconnect) {
+                prop_assert!(op.fmax(interconnect) >= required);
+                for lower in vfs.points().iter().filter(|p| p.voltage < op.voltage) {
+                    prop_assert!(lower.fmax(interconnect) < required);
+                }
+            } else {
+                // Infeasible: even the top voltage is too slow.
+                let top = vfs.points().last().expect("non-empty table");
+                prop_assert!(top.fmax(interconnect) < required);
+            }
+        }
+    }
+
+    /// Dynamic/leakage scaling anchors: nominal voltage scales to 1.
+    #[test]
+    fn scaling_anchors(v in 0.3f64..1.2) {
+        prop_assert!(EnergyTable::dynamic_scale(v) <= 1.0 + 1e-12);
+        prop_assert!(EnergyTable::leakage_scale(v) <= 1.0 + 1e-12);
+        prop_assert!(EnergyTable::dynamic_scale(v) > 0.0);
+        // Quadratic beats linear below nominal.
+        prop_assert!(EnergyTable::dynamic_scale(v) <= EnergyTable::leakage_scale(v) + 1e-12);
+    }
+}

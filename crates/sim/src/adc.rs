@@ -1,0 +1,216 @@
+//! The multi-channel ADC peripheral.
+//!
+//! A three-channel ADC samples the bio-signal "at a constant frequency
+//! and provid\[es\] a data-ready interrupt that will be connected to the
+//! synchronizer" (paper §III-B). The simulator's ADC replays preloaded
+//! sample streams: every `period_cycles` it latches the next sample of
+//! each channel into its data register, bumps the per-channel sequence
+//! counter and raises the channel's interrupt source.
+//!
+//! An *overrun* is recorded when a sample is overwritten before any core
+//! read it — the real-time violation detector used when searching for
+//! the minimum feasible clock frequency.
+
+/// ADC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdcConfig {
+    /// Number of channels (leads).
+    pub channels: usize,
+    /// Sampling period in platform clock cycles.
+    pub period_cycles: u64,
+    /// Cycle of the first sample.
+    pub start_cycle: u64,
+}
+
+impl Default for AdcConfig {
+    fn default() -> Self {
+        AdcConfig {
+            channels: 3,
+            // 250 Hz at a 1 MHz clock.
+            period_cycles: 4000,
+            start_cycle: 100,
+        }
+    }
+}
+
+/// The ADC peripheral state.
+#[derive(Debug, Clone)]
+pub struct Adc {
+    config: AdcConfig,
+    streams: Vec<Vec<i16>>,
+    position: usize,
+    data: Vec<u16>,
+    seq: Vec<u16>,
+    read_since_latch: Vec<bool>,
+    overruns: u64,
+    samples_delivered: u64,
+    next_tick: Option<u64>,
+}
+
+impl Adc {
+    /// Creates an ADC replaying `streams` (one per channel).
+    ///
+    /// Channels without a stream produce zero samples for as long as the
+    /// longest stream lasts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more streams than channels are supplied.
+    pub fn new(config: AdcConfig, streams: Vec<Vec<i16>>) -> Adc {
+        assert!(
+            streams.len() <= config.channels,
+            "more streams than channels"
+        );
+        let channels = config.channels;
+        let start = config.start_cycle;
+        let has_samples = streams.iter().any(|s| !s.is_empty());
+        Adc {
+            config,
+            streams,
+            position: 0,
+            data: vec![0; channels],
+            seq: vec![0; channels],
+            read_since_latch: vec![true; channels],
+            overruns: 0,
+            samples_delivered: 0,
+            next_tick: has_samples.then_some(start),
+        }
+    }
+
+    /// Cycle of the next sample latch, or `None` when the streams are
+    /// exhausted.
+    pub fn next_tick(&self) -> Option<u64> {
+        self.next_tick
+    }
+
+    /// Total samples latched so far (per channel).
+    pub fn samples_delivered(&self) -> u64 {
+        self.samples_delivered
+    }
+
+    /// Samples overwritten before being read.
+    pub fn overruns(&self) -> u64 {
+        self.overruns
+    }
+
+    /// Remaining stream length.
+    pub fn samples_total(&self) -> usize {
+        self.streams.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Advances to `cycle`; latches new samples and returns the raised
+    /// interrupt-source mask (bit per channel), or 0.
+    pub fn tick(&mut self, cycle: u64) -> u16 {
+        let Some(next) = self.next_tick else {
+            return 0;
+        };
+        if cycle < next {
+            return 0;
+        }
+        let total = self.samples_total();
+        if self.position >= total {
+            self.next_tick = None;
+            return 0;
+        }
+        let mut mask = 0u16;
+        for ch in 0..self.config.channels {
+            let sample = self
+                .streams
+                .get(ch)
+                .and_then(|s| s.get(self.position))
+                .copied()
+                .unwrap_or(0);
+            if !self.read_since_latch[ch] {
+                self.overruns += 1;
+            }
+            self.data[ch] = sample as u16;
+            self.seq[ch] = self.seq[ch].wrapping_add(1);
+            self.read_since_latch[ch] = false;
+            mask |= 1 << ch;
+        }
+        self.position += 1;
+        self.samples_delivered += 1;
+        self.next_tick = if self.position < total {
+            Some(next + self.config.period_cycles)
+        } else {
+            None
+        };
+        mask
+    }
+
+    /// Reads the data register of `channel`, clearing its overrun latch.
+    pub fn read_data(&mut self, channel: usize) -> u16 {
+        if channel < self.data.len() {
+            self.read_since_latch[channel] = true;
+            self.data[channel]
+        } else {
+            0
+        }
+    }
+
+    /// Reads the sequence counter of `channel`.
+    pub fn read_seq(&self, channel: usize) -> u16 {
+        self.seq.get(channel).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adc(period: u64, streams: Vec<Vec<i16>>) -> Adc {
+        Adc::new(
+            AdcConfig {
+                channels: 3,
+                period_cycles: period,
+                start_cycle: 10,
+            },
+            streams,
+        )
+    }
+
+    #[test]
+    fn latches_on_schedule() {
+        let mut a = adc(100, vec![vec![1, 2], vec![-5, -6]]);
+        assert_eq!(a.tick(9), 0);
+        assert_eq!(a.tick(10), 0b111);
+        assert_eq!(a.read_data(0), 1);
+        assert_eq!(a.read_data(1), (-5i16) as u16);
+        assert_eq!(a.read_data(2), 0); // channel without stream
+        assert_eq!(a.read_seq(0), 1);
+        assert_eq!(a.next_tick(), Some(110));
+        assert_eq!(a.tick(110), 0b111);
+        assert_eq!(a.read_data(0), 2);
+        assert_eq!(a.next_tick(), None, "streams exhausted");
+        assert_eq!(a.tick(210), 0);
+        assert_eq!(a.samples_delivered(), 2);
+    }
+
+    #[test]
+    fn overrun_detection() {
+        let mut a = adc(10, vec![vec![1, 2, 3]]);
+        assert_eq!(a.tick(10), 0b111);
+        a.read_data(0); // channel 0 read in time
+        assert_eq!(a.tick(20), 0b111);
+        assert_eq!(a.tick(30), 0b111);
+        // Channel 0 missed one sample (latched at 20, overwritten at 30);
+        // channels 1 and 2 were never read and miss two each.
+        assert_eq!(a.overruns(), 1 + 2 * 2);
+    }
+
+    #[test]
+    fn late_tick_catches_up_once() {
+        let mut a = adc(10, vec![vec![7, 8]]);
+        // Jumping far past the deadline latches the next pending sample.
+        assert_eq!(a.tick(35), 0b111);
+        assert_eq!(a.read_data(0), 7);
+        assert_eq!(a.next_tick(), Some(20));
+    }
+
+    #[test]
+    fn seq_starts_at_zero() {
+        let a = adc(10, vec![vec![1]]);
+        assert_eq!(a.read_seq(0), 0);
+        assert_eq!(a.read_seq(9), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Address Translation Unit: shared/private data-memory division.
+//!
+//! Each core is equipped with a combinational ATU "consisting of a
+//! multiplexor that appends a unique tag per core when an access to the
+//! private section is requested" (paper §IV-A). Addresses below the
+//! shared limit are *shared* and interleaved across all banks (which is
+//! why every data bank must stay powered in the multi-core platform);
+//! addresses at or above the limit are *private*: each core's window maps
+//! onto a contiguous slice of physical memory, so different cores'
+//! private data live in different banks and never conflict.
+//!
+//! The single-core baseline has no ATU: the flat address space maps
+//! contiguously onto the banks, letting unused banks power off.
+
+use wbsn_isa::{DM_BANKS, DM_BANK_WORDS, DM_WORDS};
+
+use crate::error::FaultKind;
+use crate::mmio::MMIO_BASE;
+
+/// Physical location of a data word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DmLocation {
+    /// Bank index.
+    pub bank: usize,
+    /// Word row within the bank.
+    pub row: usize,
+}
+
+/// Where a data-memory access lands after translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmTarget {
+    /// Banked memory (shared or private section).
+    Memory {
+        /// The physical location.
+        location: DmLocation,
+        /// Whether the access hit the shared section.
+        shared: bool,
+    },
+    /// The synchronization-point region (served by the synchronizer).
+    SyncPoint(u16),
+    /// The memory-mapped I/O window.
+    Mmio(u32),
+}
+
+/// The address translation unit of one platform instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Atu {
+    shared_words: u32,
+    sync_base: u32,
+    sync_points: usize,
+    /// Private words available to each core.
+    priv_words_per_core: u32,
+    /// Rows per bank reserved for the interleaved shared section.
+    shared_rows: u32,
+    flat: bool,
+}
+
+impl Atu {
+    /// Builds the ATU for a platform.
+    ///
+    /// `flat` (single-core baseline) disables translation entirely: the
+    /// whole address space maps contiguously onto the banks, except the
+    /// MMIO window and the synchronization-point region, which are decoded
+    /// the same way on both platforms.
+    pub fn new(
+        cores: usize,
+        shared_words: u32,
+        sync_base: u32,
+        sync_points: usize,
+        flat: bool,
+    ) -> Atu {
+        let shared_rows = shared_words.div_ceil(DM_BANKS as u32);
+        let priv_total = DM_WORDS as u32 - shared_rows * DM_BANKS as u32;
+        Atu {
+            shared_words,
+            sync_base,
+            sync_points,
+            priv_words_per_core: if flat { 0 } else { priv_total / cores as u32 },
+            shared_rows,
+            flat,
+        }
+    }
+
+    /// Private words available to each core.
+    pub fn private_words_per_core(&self) -> u32 {
+        self.priv_words_per_core
+    }
+
+    /// First core-visible address of the private section.
+    pub fn private_base(&self) -> u32 {
+        self.shared_words
+    }
+
+    /// Translates a core-visible address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FaultKind`] describing the violation for
+    /// out-of-range and out-of-window accesses.
+    pub fn translate(&self, core: usize, addr: u32) -> Result<DmTarget, FaultKind> {
+        if addr >= DM_WORDS as u32 {
+            return Err(FaultKind::DmOutOfRange);
+        }
+        if addr >= MMIO_BASE {
+            return Ok(DmTarget::Mmio(addr));
+        }
+        if addr >= self.sync_base && addr < self.sync_base + self.sync_points as u32 {
+            return Ok(DmTarget::SyncPoint((addr - self.sync_base) as u16));
+        }
+        if self.flat {
+            return Ok(DmTarget::Memory {
+                location: DmLocation {
+                    bank: addr as usize / DM_BANK_WORDS,
+                    row: addr as usize % DM_BANK_WORDS,
+                },
+                shared: true,
+            });
+        }
+        if addr < self.shared_words {
+            // Shared section: interleaved across all banks.
+            return Ok(DmTarget::Memory {
+                location: DmLocation {
+                    bank: addr as usize % DM_BANKS,
+                    row: addr as usize / DM_BANKS,
+                },
+                shared: true,
+            });
+        }
+        // Private section: the ATU appends the core tag, landing the
+        // access in the core's contiguous slice of the leftover rows.
+        let offset = addr - self.shared_words;
+        if offset >= self.priv_words_per_core {
+            return Err(FaultKind::PrivateOutOfRange);
+        }
+        let rows_per_bank = DM_BANK_WORDS as u32 - self.shared_rows;
+        let phys = core as u32 * self.priv_words_per_core + offset;
+        let bank = (phys / rows_per_bank) as usize;
+        let row = (self.shared_rows + phys % rows_per_bank) as usize;
+        Ok(DmTarget::Memory {
+            location: DmLocation { bank, row },
+            shared: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atu_mc() -> Atu {
+        // 8 cores, 4K shared words, 16 sync points at 0x10.
+        Atu::new(8, 0x1000, 0x10, 16, false)
+    }
+
+    #[test]
+    fn shared_addresses_interleave_across_banks() {
+        let atu = atu_mc();
+        for addr in [0u32, 1, 2, 15, 16, 17, 0xFFF] {
+            if (0x10..0x20).contains(&addr) {
+                continue; // sync region
+            }
+            match atu.translate(0, addr).unwrap() {
+                DmTarget::Memory { location, shared } => {
+                    assert!(shared);
+                    assert_eq!(location.bank, addr as usize % DM_BANKS);
+                    assert_eq!(location.row, addr as usize / DM_BANKS);
+                }
+                other => panic!("unexpected target {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sync_region_is_intercepted() {
+        let atu = atu_mc();
+        assert_eq!(atu.translate(3, 0x10), Ok(DmTarget::SyncPoint(0)));
+        assert_eq!(atu.translate(3, 0x1F), Ok(DmTarget::SyncPoint(15)));
+        assert!(matches!(
+            atu.translate(3, 0x20),
+            Ok(DmTarget::Memory { .. })
+        ));
+    }
+
+    #[test]
+    fn mmio_window_is_decoded_before_translation() {
+        let atu = atu_mc();
+        assert_eq!(atu.translate(0, 0x7F00), Ok(DmTarget::Mmio(0x7F00)));
+        // Also on the flat baseline.
+        let flat = Atu::new(1, 0, 0x10, 16, true);
+        assert_eq!(flat.translate(0, 0x7F00), Ok(DmTarget::Mmio(0x7F00)));
+    }
+
+    #[test]
+    fn private_sections_of_distinct_cores_never_collide() {
+        let atu = atu_mc();
+        let base = atu.private_base();
+        let mut seen = std::collections::HashSet::new();
+        for core in 0..8 {
+            for offset in [0u32, 1, 100, atu.private_words_per_core() - 1] {
+                match atu.translate(core, base + offset).unwrap() {
+                    DmTarget::Memory { location, shared } => {
+                        assert!(!shared);
+                        assert!(
+                            seen.insert((location.bank, location.row)),
+                            "core {core} offset {offset} collided"
+                        );
+                        assert!(location.row >= 0x1000 / DM_BANKS);
+                    }
+                    other => panic!("unexpected target {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_private_address_maps_per_core() {
+        let atu = atu_mc();
+        let a = atu.translate(0, atu.private_base()).unwrap();
+        let b = atu.translate(1, atu.private_base()).unwrap();
+        assert_ne!(a, b, "the tag distinguishes the cores");
+    }
+
+    #[test]
+    fn private_overflow_faults() {
+        let atu = atu_mc();
+        let bad = atu.private_base() + atu.private_words_per_core();
+        // The address may fall into MMIO space instead; pick a core-visible
+        // address below MMIO that overflows the private window.
+        if bad < MMIO_BASE {
+            assert_eq!(atu.translate(0, bad), Err(FaultKind::PrivateOutOfRange));
+        }
+        assert_eq!(
+            atu.translate(0, DM_WORDS as u32),
+            Err(FaultKind::DmOutOfRange)
+        );
+    }
+
+    #[test]
+    fn flat_mapping_is_contiguous() {
+        let atu = Atu::new(1, 0, 0x10, 16, true);
+        match atu.translate(0, 5000).unwrap() {
+            DmTarget::Memory { location, .. } => {
+                assert_eq!(location.bank, 5000 / DM_BANK_WORDS);
+                assert_eq!(location.row, 5000 % DM_BANK_WORDS);
+            }
+            other => panic!("unexpected target {other:?}"),
+        }
+    }
+
+    #[test]
+    fn private_capacity_accounts_for_shared_rows() {
+        let atu = atu_mc();
+        let shared_rows = 0x1000u32.div_ceil(16);
+        let expected = (DM_WORDS as u32 - shared_rows * 16) / 8;
+        assert_eq!(atu.private_words_per_core(), expected);
+    }
+}

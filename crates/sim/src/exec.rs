@@ -1,0 +1,128 @@
+//! Pure instruction semantics: the 16-bit datapath.
+
+use wbsn_isa::{AluImmOp, AluOp};
+
+/// Computes a register-register ALU operation on 16-bit values.
+///
+/// Shifts use the low four bits of `b`; `Mul`/`Mulh` are the low and high
+/// halves of the signed 32-bit product; `Min`/`Max` are signed.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_isa::AluOp;
+/// use wbsn_sim::exec::alu;
+///
+/// assert_eq!(alu(AluOp::Add, 0xFFFF, 2), 1); // wrapping
+/// assert_eq!(alu(AluOp::Min, 0xFFFF, 1), 0xFFFF); // -1 < 1 signed
+/// ```
+pub fn alu(op: AluOp, a: u16, b: u16) -> u16 {
+    let sa = a as i16;
+    let sb = b as i16;
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sll => a << (b & 0xF),
+        AluOp::Srl => a >> (b & 0xF),
+        AluOp::Sra => (sa >> (b & 0xF)) as u16,
+        AluOp::Mul => (sa as i32).wrapping_mul(sb as i32) as u16,
+        AluOp::Mulh => (((sa as i32).wrapping_mul(sb as i32)) >> 16) as u16,
+        AluOp::Min => sa.min(sb) as u16,
+        AluOp::Max => sa.max(sb) as u16,
+        AluOp::Slt => (sa < sb) as u16,
+        AluOp::Sltu => (a < b) as u16,
+    }
+}
+
+/// Computes a register-immediate ALU operation.
+///
+/// `Addi` sign-extends its immediate (already carried as `i16`), the
+/// logical forms use the zero-extended 12-bit immediate, and shifts the
+/// low four bits.
+pub fn alu_imm(op: AluImmOp, a: u16, imm: i16) -> u16 {
+    match op {
+        AluImmOp::Addi => a.wrapping_add(imm as u16),
+        AluImmOp::Andi => a & (imm as u16),
+        AluImmOp::Ori => a | (imm as u16),
+        AluImmOp::Xori => a ^ (imm as u16),
+        AluImmOp::Slli => a << (imm as u16 & 0xF),
+        AluImmOp::Srli => a >> (imm as u16 & 0xF),
+        AluImmOp::Srai => ((a as i16) >> (imm as u16 & 0xF)) as u16,
+    }
+}
+
+/// Absolute value with saturation at the most negative input.
+///
+/// `|-32768|` does not fit in `i16`, so the hardware saturates to
+/// `32767`.
+pub fn abs16(a: u16) -> u16 {
+    let s = a as i16;
+    if s == i16::MIN {
+        i16::MAX as u16
+    } else {
+        s.unsigned_abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_wrap() {
+        assert_eq!(alu(AluOp::Add, 0x7FFF, 1), 0x8000);
+        assert_eq!(alu(AluOp::Sub, 0, 1), 0xFFFF);
+    }
+
+    #[test]
+    fn shifts_use_low_nibble() {
+        assert_eq!(alu(AluOp::Sll, 1, 4), 16);
+        assert_eq!(alu(AluOp::Sll, 1, 20), 16, "shift amount masked");
+        assert_eq!(alu(AluOp::Srl, 0x8000, 15), 1);
+        assert_eq!(alu(AluOp::Sra, 0x8000, 15), 0xFFFF, "arithmetic fills sign");
+    }
+
+    #[test]
+    fn mul_and_mulh_form_signed_product() {
+        let a = -300i16;
+        let b = 250i16;
+        let product = (a as i32) * (b as i32);
+        let lo = alu(AluOp::Mul, a as u16, b as u16);
+        let hi = alu(AluOp::Mulh, a as u16, b as u16);
+        let rebuilt = ((hi as i16 as i32) << 16) | lo as i32 & 0xFFFF;
+        assert_eq!(rebuilt, product);
+    }
+
+    #[test]
+    fn min_max_signed() {
+        assert_eq!(alu(AluOp::Min, (-5i16) as u16, 3), (-5i16) as u16);
+        assert_eq!(alu(AluOp::Max, (-5i16) as u16, 3), 3);
+    }
+
+    #[test]
+    fn set_less_than_signed_vs_unsigned() {
+        assert_eq!(alu(AluOp::Slt, 0xFFFF, 0), 1);
+        assert_eq!(alu(AluOp::Sltu, 0xFFFF, 0), 0);
+    }
+
+    #[test]
+    fn imm_forms() {
+        assert_eq!(alu_imm(AluImmOp::Addi, 10, -3), 7);
+        assert_eq!(alu_imm(AluImmOp::Ori, 0xF0, 0x0F), 0xFF);
+        assert_eq!(alu_imm(AluImmOp::Srai, 0x8000u16, 8), 0xFF80);
+        assert_eq!(alu_imm(AluImmOp::Xori, 0xFF, 0xFF), 0);
+        assert_eq!(alu_imm(AluImmOp::Andi, 0x1234, 0xFF), 0x34);
+        assert_eq!(alu_imm(AluImmOp::Slli, 3, 2), 12);
+        assert_eq!(alu_imm(AluImmOp::Srli, 0x8000u16, 8), 0x80);
+    }
+
+    #[test]
+    fn abs_saturates() {
+        assert_eq!(abs16((-5i16) as u16), 5);
+        assert_eq!(abs16(5), 5);
+        assert_eq!(abs16(0x8000), 0x7FFF);
+    }
+}

@@ -1,0 +1,127 @@
+//! Banked instruction and data memories.
+//!
+//! Both memories are divided into independently powered banks so that
+//! unused banks can be switched off (paper §III-A). The structs here are
+//! plain storage: arbitration, broadcasting and access counting live in
+//! the platform's cycle loop, which records per-bank activity in
+//! [`crate::stats::SimStats`].
+
+use wbsn_isa::{DM_BANKS, DM_BANK_WORDS, IM_BANKS, IM_BANK_WORDS, IM_WORDS};
+
+use crate::atu::DmLocation;
+
+/// The instruction memory: 32 KWords × 24 bits in 8 banks.
+#[derive(Debug, Clone)]
+pub struct InstrMemory {
+    words: Vec<u32>,
+}
+
+impl InstrMemory {
+    /// Creates an instruction memory initialised from a full image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is not exactly [`IM_WORDS`] long.
+    pub fn from_image(words: &[u32]) -> InstrMemory {
+        assert_eq!(words.len(), IM_WORDS, "image must cover the whole memory");
+        InstrMemory {
+            words: words.to_vec(),
+        }
+    }
+
+    /// The word at `addr`, or `None` outside the memory.
+    #[inline]
+    pub fn fetch(&self, addr: u32) -> Option<u32> {
+        self.words.get(addr as usize).copied()
+    }
+
+    /// Bank that `addr` belongs to.
+    #[inline]
+    pub fn bank_of(addr: u32) -> usize {
+        addr as usize / IM_BANK_WORDS
+    }
+
+    /// Number of banks.
+    pub const fn banks() -> usize {
+        IM_BANKS
+    }
+}
+
+/// The data memory: 32 KWords × 16 bits in 16 banks, addressed physically
+/// by `(bank, row)` after the ATU.
+#[derive(Debug, Clone)]
+pub struct DataMemory {
+    banks: Vec<Vec<u16>>,
+}
+
+impl Default for DataMemory {
+    fn default() -> Self {
+        DataMemory::new()
+    }
+}
+
+impl DataMemory {
+    /// Creates a zeroed data memory.
+    pub fn new() -> DataMemory {
+        DataMemory {
+            banks: vec![vec![0u16; DM_BANK_WORDS]; DM_BANKS],
+        }
+    }
+
+    /// Reads the word at a physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a location outside the geometry (locations come from the
+    /// ATU, which validates them).
+    #[inline]
+    pub fn read(&self, loc: DmLocation) -> u16 {
+        self.banks[loc.bank][loc.row]
+    }
+
+    /// Writes the word at a physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a location outside the geometry.
+    #[inline]
+    pub fn write(&mut self, loc: DmLocation, value: u16) {
+        self.banks[loc.bank][loc.row] = value;
+    }
+
+    /// Number of banks.
+    pub const fn banks() -> usize {
+        DM_BANKS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn im_bank_mapping_is_contiguous() {
+        assert_eq!(InstrMemory::bank_of(0), 0);
+        assert_eq!(InstrMemory::bank_of(IM_BANK_WORDS as u32 - 1), 0);
+        assert_eq!(InstrMemory::bank_of(IM_BANK_WORDS as u32), 1);
+        assert_eq!(InstrMemory::bank_of(IM_WORDS as u32 - 1), IM_BANKS - 1);
+    }
+
+    #[test]
+    fn im_fetch_bounds() {
+        let im = InstrMemory::from_image(&vec![7u32; IM_WORDS]);
+        assert_eq!(im.fetch(0), Some(7));
+        assert_eq!(im.fetch(IM_WORDS as u32), None);
+    }
+
+    #[test]
+    fn dm_read_write() {
+        let mut dm = DataMemory::new();
+        let loc = DmLocation { bank: 3, row: 17 };
+        assert_eq!(dm.read(loc), 0);
+        dm.write(loc, 0xBEEF);
+        assert_eq!(dm.read(loc), 0xBEEF);
+        // Other banks unaffected.
+        assert_eq!(dm.read(DmLocation { bank: 4, row: 17 }), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Memory-mapped peripheral registers.
+//!
+//! Peripherals are "interfaced using memory-mapped registers located in
+//! shared DM" (paper §IV-B). The window occupies the top 256 words of the
+//! address space and is decoded before the Address Translation Unit, so
+//! every core sees the same registers.
+
+/// First word address of the memory-mapped I/O window.
+pub const MMIO_BASE: u32 = 0x7F00;
+
+/// One past the last MMIO address.
+pub const MMIO_END: u32 = 0x8000;
+
+/// Read-only: latest sample of ADC channel `ch` at `ADC_DATA_BASE + ch`.
+pub const ADC_DATA_BASE: u32 = 0x7F00;
+
+/// Read-only: low 16 bits of the sample sequence counter of channel `ch`
+/// at `ADC_SEQ_BASE + ch`. Software detects a fresh sample by comparing
+/// against the previously observed value (used heavily by the busy-wait
+/// variants).
+pub const ADC_SEQ_BASE: u32 = 0x7F10;
+
+/// Write-only: the issuing core's interrupt subscription mask (one bit
+/// per peripheral source). Writes are routed to the synchronizer.
+pub const SYNC_SUBSCRIBE: u32 = 0x7F20;
+
+/// Read-only: the issuing core's current subscription mask.
+pub const SYNC_SUBSCRIPTION: u32 = 0x7F21;
+
+/// Read-only: the issuing core's index. Lock-step groups execute one
+/// shared binary from one instruction bank (so their fetches broadcast);
+/// per-core parameters such as the ADC channel are derived from this
+/// register at start-up.
+pub const CORE_ID: u32 = 0x7F22;
+
+/// Maximum number of ADC channels addressable in the window.
+pub const MAX_ADC_CHANNELS: usize = 16;
+
+/// Classifies an MMIO address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmioReg {
+    /// `ADC_DATA_BASE + channel`.
+    AdcData(usize),
+    /// `ADC_SEQ_BASE + channel`.
+    AdcSeq(usize),
+    /// The subscription write register.
+    Subscribe,
+    /// The subscription read-back register.
+    Subscription,
+    /// The issuing core's index register.
+    CoreId,
+}
+
+impl MmioReg {
+    /// Decodes an address inside the MMIO window.
+    ///
+    /// Returns `None` for unmapped window addresses.
+    pub fn decode(addr: u32) -> Option<MmioReg> {
+        match addr {
+            a if (ADC_DATA_BASE..ADC_DATA_BASE + MAX_ADC_CHANNELS as u32).contains(&a) => {
+                Some(MmioReg::AdcData((a - ADC_DATA_BASE) as usize))
+            }
+            a if (ADC_SEQ_BASE..ADC_SEQ_BASE + MAX_ADC_CHANNELS as u32).contains(&a) => {
+                Some(MmioReg::AdcSeq((a - ADC_SEQ_BASE) as usize))
+            }
+            SYNC_SUBSCRIBE => Some(MmioReg::Subscribe),
+            SYNC_SUBSCRIPTION => Some(MmioReg::Subscription),
+            CORE_ID => Some(MmioReg::CoreId),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_known_registers() {
+        assert_eq!(MmioReg::decode(ADC_DATA_BASE + 2), Some(MmioReg::AdcData(2)));
+        assert_eq!(MmioReg::decode(ADC_SEQ_BASE), Some(MmioReg::AdcSeq(0)));
+        assert_eq!(MmioReg::decode(SYNC_SUBSCRIBE), Some(MmioReg::Subscribe));
+        assert_eq!(
+            MmioReg::decode(SYNC_SUBSCRIPTION),
+            Some(MmioReg::Subscription)
+        );
+        assert_eq!(MmioReg::decode(CORE_ID), Some(MmioReg::CoreId));
+        assert_eq!(MmioReg::decode(0x7FFF), None);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn window_is_inside_address_space() {
+        assert!(MMIO_END as usize <= wbsn_isa::DM_WORDS);
+        assert!(MMIO_BASE < MMIO_END);
+    }
+}

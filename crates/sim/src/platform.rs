@@ -1,0 +1,900 @@
+//! The platform: cores, memories, crossbars, ATU, synchronizer and ADC
+//! wired together by a cycle-accurate event loop.
+
+use wbsn_core::{CoreId, Synchronizer};
+use wbsn_isa::{Instr, LinkedImage, IM_WORDS};
+
+use crate::adc::Adc;
+use crate::atu::{Atu, DmTarget};
+use crate::config::{InterconnectKind, PlatformConfig};
+use crate::cpu::{Core, MemIntent, Retire};
+use crate::error::{Fault, FaultKind, SimError};
+use crate::memory::{DataMemory, InstrMemory};
+use crate::mmio::MmioReg;
+use crate::stats::SimStats;
+use crate::trace::{TraceEvent, Tracer};
+use crate::xbar::{arbitrate, Grant, Request};
+
+/// Why a [`Platform::run`] call returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// Every core executed `HALT`.
+    AllHalted,
+    /// All remaining cores are clock-gated and no further event (ADC
+    /// sample or synchronization) can ever wake them — the workload is
+    /// finished.
+    Quiescent,
+    /// The cycle budget was exhausted first.
+    CycleLimit,
+    /// A core reached a breakpoint (the instruction at that address has
+    /// not executed yet).
+    Breakpoint {
+        /// The stopped core.
+        core: usize,
+        /// The breakpoint address.
+        pc: u32,
+    },
+    /// A watched data address was written.
+    Watchpoint {
+        /// The writing core.
+        core: usize,
+        /// The watched (core-visible) address.
+        addr: u32,
+    },
+}
+
+#[derive(Debug)]
+struct Slot {
+    core: Core,
+    /// Fetched instruction waiting to execute (set while stalled on
+    /// hazards or data-memory arbitration).
+    held: Option<Instr>,
+    /// The next cycle is a taken-branch fetch bubble.
+    bubble: bool,
+    /// The core participates in the workload (an entry point was linked).
+    present: bool,
+}
+
+/// The simulated WBSN platform.
+///
+/// See the [crate-level example](crate) for the typical
+/// assemble–link–run flow.
+#[derive(Debug)]
+pub struct Platform {
+    config: PlatformConfig,
+    atu: Atu,
+    im: InstrMemory,
+    decoded: Vec<Option<Instr>>,
+    dm: DataMemory,
+    slots: Vec<Slot>,
+    synchronizer: Synchronizer,
+    adc: Adc,
+    stats: SimStats,
+    tracer: Option<Tracer>,
+    breakpoints: Vec<u32>,
+    watchpoints: Vec<u32>,
+    watch_hit: Option<(usize, u32)>,
+}
+
+impl Platform {
+    /// Builds a platform from a configuration and a linked image.
+    ///
+    /// Cores without a linked entry point are treated as absent (they
+    /// never clock). Initial data-memory segments are loaded through
+    /// core 0's address map.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors, faults for initial data falling into
+    /// reserved regions, and synchronizer construction errors.
+    pub fn new(config: PlatformConfig, image: &LinkedImage) -> Result<Platform, SimError> {
+        config.validate()?;
+        let flat = config.interconnect == InterconnectKind::Decoder;
+        let atu = Atu::new(
+            config.cores,
+            config.shared_words,
+            config.sync_base,
+            config.sync_points,
+            flat,
+        );
+        let im = InstrMemory::from_image(image.im_words());
+        let decoded = image
+            .im_words()
+            .iter()
+            .map(|&w| Instr::decode(w).ok())
+            .collect();
+        let mut dm = DataMemory::new();
+        for (addr, word) in image.dm_init() {
+            match atu.translate(0, addr) {
+                Ok(DmTarget::Memory { location, .. }) => dm.write(location, word),
+                _ => {
+                    return Err(Fault {
+                        core: 0,
+                        pc: 0,
+                        addr,
+                        kind: FaultKind::DmOutOfRange,
+                    }
+                    .into())
+                }
+            }
+        }
+        let synchronizer = Synchronizer::new(config.cores, config.sync_points)?;
+        let slots = (0..config.cores)
+            .map(|id| {
+                let entry = image.entry(id);
+                let mut core = Core::new(id, entry.unwrap_or(0));
+                let present = entry.is_some();
+                if !present {
+                    // Absent cores stay permanently off.
+                    core.set_gated(true);
+                }
+                Slot {
+                    core,
+                    held: None,
+                    bubble: false,
+                    present,
+                }
+            })
+            .collect();
+        let adc = Adc::new(config.adc, Vec::new());
+        let stats = SimStats::new(config.cores);
+        Ok(Platform {
+            config,
+            atu,
+            im,
+            decoded,
+            dm,
+            slots,
+            synchronizer,
+            adc,
+            stats,
+            tracer: None,
+            breakpoints: Vec::new(),
+            watchpoints: Vec::new(),
+            watch_hit: None,
+        })
+    }
+
+    /// Replaces the ADC sample streams (one per channel). Call before
+    /// running.
+    pub fn set_adc_streams(&mut self, streams: Vec<Vec<i16>>) {
+        self.adc = Adc::new(self.config.adc, streams);
+    }
+
+    /// Preloads a synchronization point (a building directive).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown points.
+    pub fn preload_sync_point(
+        &mut self,
+        point: u16,
+        count: u8,
+        auto_reload: bool,
+    ) -> Result<(), SimError> {
+        self.synchronizer
+            .preload(point, count, auto_reload)
+            .map_err(SimError::from)
+    }
+
+    /// Configures a preloaded auto-reload barrier on a synchronization
+    /// point (a building directive; see
+    /// [`Synchronizer::preload_barrier`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown points.
+    pub fn preload_barrier(
+        &mut self,
+        point: u16,
+        count: u8,
+        participants: wbsn_core::CoreSet,
+    ) -> Result<(), SimError> {
+        self.synchronizer
+            .preload_barrier(point, count, participants)
+            .map_err(SimError::from)
+    }
+
+    /// Enables retirement tracing: the last `capacity` retirements of
+    /// the cores selected by `core_mask` (bit per core) are kept in a
+    /// ring readable through [`Platform::trace`].
+    pub fn enable_trace(&mut self, capacity: usize, core_mask: u8) {
+        self.tracer = Some(Tracer::new(capacity, core_mask));
+    }
+
+    /// The retirement trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Adds an instruction breakpoint: [`Platform::run`] stops with
+    /// [`RunExit::Breakpoint`] when any core is about to execute `pc`.
+    pub fn add_breakpoint(&mut self, pc: u32) {
+        if !self.breakpoints.contains(&pc) {
+            self.breakpoints.push(pc);
+        }
+    }
+
+    /// Adds a data watchpoint: [`Platform::run`] stops with
+    /// [`RunExit::Watchpoint`] after any core writes the (core-visible)
+    /// address.
+    pub fn add_watchpoint(&mut self, addr: u32) {
+        if !self.watchpoints.contains(&addr) {
+            self.watchpoints.push(addr);
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The synchronizer (for inspection in tests and harnesses).
+    pub fn synchronizer(&self) -> &Synchronizer {
+        &self.synchronizer
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// A core's architectural state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core(&self, core: usize) -> &Core {
+        &self.slots[core].core
+    }
+
+    /// ADC overruns observed so far.
+    pub fn adc_overruns(&self) -> u64 {
+        self.adc.overruns()
+    }
+
+    /// Reads a data word through core 0's address map (test/harness
+    /// convenience).
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault for untranslatable addresses.
+    pub fn peek_dm(&self, addr: u32) -> Result<u16, SimError> {
+        self.peek_dm_for_core(0, addr)
+    }
+
+    /// Reads a data word through `core`'s address map.
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault for untranslatable addresses.
+    pub fn peek_dm_for_core(&self, core: usize, addr: u32) -> Result<u16, SimError> {
+        match self.atu.translate(core, addr) {
+            Ok(DmTarget::Memory { location, .. }) => Ok(self.dm.read(location)),
+            Ok(DmTarget::SyncPoint(p)) => Ok(self
+                .synchronizer
+                .point_value(p)
+                .map(|v| v.to_word())
+                .map_err(SimError::from)?),
+            Ok(DmTarget::Mmio(_)) => Ok(0),
+            Err(kind) => Err(Fault {
+                core,
+                pc: self.slots[core].core.pc(),
+                addr,
+                kind,
+            }
+            .into()),
+        }
+    }
+
+    /// Writes a data word through `core`'s address map (loader/test
+    /// convenience).
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault for untranslatable or reserved addresses.
+    pub fn poke_dm_for_core(&mut self, core: usize, addr: u32, value: u16) -> Result<(), SimError> {
+        match self.atu.translate(core, addr) {
+            Ok(DmTarget::Memory { location, .. }) => {
+                self.dm.write(location, value);
+                Ok(())
+            }
+            Ok(_) => Err(Fault {
+                core,
+                pc: 0,
+                addr,
+                kind: FaultKind::WriteToSyncRegion,
+            }
+            .into()),
+            Err(kind) => Err(Fault {
+                core,
+                pc: 0,
+                addr,
+                kind,
+            }
+            .into()),
+        }
+    }
+
+    /// Runs until every core halts, the platform becomes quiescent, or
+    /// `max_cycles` elapse.
+    ///
+    /// When every live core is clock-gated, the loop fast-forwards to the
+    /// next ADC event instead of stepping empty cycles, charging the
+    /// skipped time to the gated counters — this is what makes minutes of
+    /// simulated bio-signal time affordable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first fault or synchronization protocol violation.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunExit, SimError> {
+        while self.stats.cycles < max_cycles {
+            if self.all_halted() {
+                return Ok(RunExit::AllHalted);
+            }
+            if !self.breakpoints.is_empty() {
+                for slot in &self.slots {
+                    if slot.present
+                        && !slot.core.is_halted()
+                        && !slot.core.is_gated()
+                        && slot.held.is_none()
+                        && self.breakpoints.contains(&slot.core.pc())
+                    {
+                        return Ok(RunExit::Breakpoint {
+                            core: slot.core.id(),
+                            pc: slot.core.pc(),
+                        });
+                    }
+                }
+            }
+            if self.all_idle() {
+                match self.adc.next_tick() {
+                    Some(tick) if tick < max_cycles => {
+                        let now = self.stats.cycles;
+                        if tick > now {
+                            let skip = tick - now;
+                            for slot in &mut self.slots {
+                                if slot.present && !slot.core.is_halted() {
+                                    self.stats.cores[slot.core.id()].gated_cycles += skip;
+                                }
+                            }
+                            self.stats.cycles = tick;
+                        }
+                    }
+                    _ => {
+                        return Ok(RunExit::Quiescent);
+                    }
+                }
+            }
+            self.step()?;
+            if let Some((core, addr)) = self.watch_hit.take() {
+                return Ok(RunExit::Watchpoint { core, addr });
+            }
+        }
+        Ok(RunExit::CycleLimit)
+    }
+
+    fn all_halted(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|s| !s.present || s.core.is_halted())
+    }
+
+    fn all_idle(&self) -> bool {
+        self.slots.iter().all(|s| {
+            !s.present
+                || s.core.is_halted()
+                || (s.core.is_gated() && s.held.is_none() && !s.bubble)
+        })
+    }
+
+    /// Advances the platform clock to `target` with every live core
+    /// clock-gated — used by harnesses to account a fixed wall-clock
+    /// observation window after the workload quiesces (leakage and the
+    /// clock trunk keep accruing).
+    pub fn idle_until(&mut self, target: u64) {
+        if target <= self.stats.cycles {
+            return;
+        }
+        let skip = target - self.stats.cycles;
+        for slot in &self.slots {
+            if slot.present && !slot.core.is_halted() {
+                self.stats.cores[slot.core.id()].gated_cycles += skip;
+            }
+        }
+        self.stats.cycles = target;
+    }
+
+    /// Executes exactly one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first fault or synchronization protocol violation.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        let cycle = self.stats.cycles;
+        let crossbar = self.config.interconnect == InterconnectKind::Crossbar;
+
+        // 1. ADC sampling and interrupt forwarding.
+        let irq_mask = self.adc.tick(cycle);
+        if irq_mask != 0 {
+            self.stats.adc_samples += 1;
+            for source in 0..16 {
+                if irq_mask & (1 << source) != 0 {
+                    self.synchronizer.raise_irq(source);
+                }
+            }
+            // Close the real-time accounting window.
+            for cs in &mut self.stats.cores {
+                cs.max_window_active = cs.max_window_active.max(cs.window_active);
+                cs.window_active = 0;
+            }
+        }
+
+        // 2. Cycle accounting and fetch requests.
+        let mut fetch_reqs: Vec<Request> = Vec::new();
+        let mut fetch_slots: Vec<usize> = Vec::new();
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
+            if !slot.present || slot.core.is_halted() {
+                continue;
+            }
+            let cs = &mut self.stats.cores[idx];
+            if slot.core.is_gated() {
+                cs.gated_cycles += 1;
+                continue;
+            }
+            cs.active_cycles += 1;
+            cs.window_active += 1;
+            if slot.bubble {
+                slot.bubble = false;
+                cs.bubbles += 1;
+                continue;
+            }
+            if slot.held.is_some() {
+                continue;
+            }
+            let pc = slot.core.pc();
+            if pc as usize >= IM_WORDS {
+                return Err(Fault {
+                    core: idx,
+                    pc,
+                    addr: pc,
+                    kind: FaultKind::ImOutOfRange,
+                }
+                .into());
+            }
+            fetch_reqs.push(Request {
+                core: idx,
+                bank: InstrMemory::bank_of(pc),
+                addr: pc,
+                write: false,
+            });
+            fetch_slots.push(idx);
+        }
+
+        // 3. Instruction-side arbitration (a decoder never conflicts).
+        let grants = if crossbar {
+            arbitrate(&fetch_reqs, cycle as usize, self.config.broadcast)
+        } else {
+            vec![Grant::Access; fetch_reqs.len()]
+        };
+        for (req_idx, grant) in grants.iter().enumerate() {
+            let slot_idx = fetch_slots[req_idx];
+            let pc = fetch_reqs[req_idx].addr;
+            match grant {
+                Grant::Access | Grant::Broadcast => {
+                    if *grant == Grant::Access {
+                        self.stats.im.reads[fetch_reqs[req_idx].bank] += 1;
+                    } else {
+                        self.stats.im.broadcasts += 1;
+                    }
+                    if crossbar {
+                        self.stats.xbar_im += 1;
+                    }
+                    let instr = self.decoded[pc as usize].ok_or(SimError::Fault(Fault {
+                        core: slot_idx,
+                        pc,
+                        addr: pc,
+                        kind: FaultKind::BadInstruction,
+                    }))?;
+                    debug_assert!(self.im.fetch(pc).is_some());
+                    self.slots[slot_idx].held = Some(instr);
+                }
+                Grant::Stall => {
+                    self.stats.im.conflicts += 1;
+                    self.stats.cores[slot_idx].stall_im += 1;
+                }
+            }
+        }
+
+        // 4. Hazards and memory intents for every held instruction.
+        #[derive(Clone, Copy)]
+        enum Ready {
+            NoMem,
+            Load(u16),
+            Store,
+        }
+        let mut ready: Vec<(usize, Ready)> = Vec::new();
+        let mut dm_reqs: Vec<Request> = Vec::new();
+        let mut dm_meta: Vec<(usize, DmTarget, Option<u16>)> = Vec::new();
+        for idx in 0..self.slots.len() {
+            let slot = &mut self.slots[idx];
+            if !slot.present || slot.core.is_halted() || slot.core.is_gated() || slot.bubble {
+                continue;
+            }
+            let Some(instr) = slot.held else { continue };
+            if slot.core.has_load_use_hazard(&instr) {
+                slot.core.clear_hazard();
+                self.stats.cores[idx].stall_hazard += 1;
+                continue;
+            }
+            match slot.core.mem_intent(&instr) {
+                None => ready.push((idx, Ready::NoMem)),
+                Some(intent) => {
+                    let (addr, store) = match intent {
+                        MemIntent::Load { addr } => (addr, None),
+                        MemIntent::Store { addr, value } => (addr, Some(value)),
+                    };
+                    let target =
+                        self.atu
+                            .translate(idx, addr)
+                            .map_err(|kind| -> SimError {
+                                Fault {
+                                    core: idx,
+                                    pc: slot.core.pc(),
+                                    addr,
+                                    kind,
+                                }
+                                .into()
+                            })?;
+                    match target {
+                        DmTarget::Memory { location, .. } => {
+                            dm_reqs.push(Request {
+                                core: idx,
+                                bank: location.bank,
+                                addr,
+                                write: store.is_some(),
+                            });
+                            dm_meta.push((idx, target, store));
+                        }
+                        DmTarget::SyncPoint(point) => {
+                            if store.is_some() {
+                                return Err(Fault {
+                                    core: idx,
+                                    pc: slot.core.pc(),
+                                    addr,
+                                    kind: FaultKind::WriteToSyncRegion,
+                                }
+                                .into());
+                            }
+                            let word = self.synchronizer.point_value(point)?.to_word();
+                            self.stats.sync_region_reads += 1;
+                            ready.push((idx, Ready::Load(word)));
+                        }
+                        DmTarget::Mmio(mmio_addr) => {
+                            let value = self.access_mmio(idx, mmio_addr, store)?;
+                            match store {
+                                Some(_) => ready.push((idx, Ready::Store)),
+                                None => ready.push((idx, Ready::Load(value))),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Data-side arbitration and physical accesses.
+        let dm_grants = if crossbar {
+            arbitrate(&dm_reqs, cycle as usize, self.config.broadcast)
+        } else {
+            vec![Grant::Access; dm_reqs.len()]
+        };
+        // Broadcast loads observe the winner's value; resolve accesses in
+        // grant order: all reads of one address see the pre-write value
+        // only if no write won — writes and reads of the same address
+        // never both win in one cycle, so read-after-write hazards within
+        // a cycle cannot occur.
+        for (i, grant) in dm_grants.iter().enumerate() {
+            let (slot_idx, target, store) = dm_meta[i];
+            let DmTarget::Memory { location, .. } = target else {
+                unreachable!("only banked targets are arbitrated");
+            };
+            match grant {
+                Grant::Access => {
+                    if crossbar {
+                        self.stats.xbar_dm += 1;
+                    }
+                    match store {
+                        Some(value) => {
+                            self.stats.dm.writes[location.bank] += 1;
+                            self.dm.write(location, value);
+                            if !self.watchpoints.is_empty() {
+                                let addr = dm_reqs[i].addr;
+                                if self.watchpoints.contains(&addr) {
+                                    self.watch_hit = Some((slot_idx, addr));
+                                }
+                            }
+                            ready.push((slot_idx, Ready::Store));
+                        }
+                        None => {
+                            self.stats.dm.reads[location.bank] += 1;
+                            ready.push((slot_idx, Ready::Load(self.dm.read(location))));
+                        }
+                    }
+                }
+                Grant::Broadcast => {
+                    if crossbar {
+                        self.stats.xbar_dm += 1;
+                    }
+                    self.stats.dm.broadcasts += 1;
+                    ready.push((slot_idx, Ready::Load(self.dm.read(location))));
+                }
+                Grant::Stall => {
+                    self.stats.dm.conflicts += 1;
+                    self.stats.cores[slot_idx].stall_dm += 1;
+                }
+            }
+        }
+
+        // 6. Retirement.
+        for (slot_idx, r) in ready {
+            let slot = &mut self.slots[slot_idx];
+            let instr = slot
+                .held
+                .take()
+                .expect("ready instructions were held");
+            let load_value = match r {
+                Ready::Load(v) => Some(v),
+                _ => None,
+            };
+            self.stats.cores[slot_idx].instructions += 1;
+            match instr {
+                Instr::Sync { .. } => self.stats.cores[slot_idx].sync_ops += 1,
+                Instr::Sleep => self.stats.cores[slot_idx].sleeps += 1,
+                _ => {}
+            }
+            if let Some(tracer) = &mut self.tracer {
+                tracer.record(TraceEvent {
+                    cycle,
+                    core: slot_idx,
+                    pc: slot.core.pc(),
+                    instr,
+                });
+            }
+            match slot.core.retire(instr, load_value) {
+                Retire::Next | Retire::Halt => {}
+                Retire::Taken => slot.bubble = true,
+                Retire::Sync { kind, point } => {
+                    self.synchronizer
+                        .submit_op(CoreId::new(slot_idx)?, kind, point)?;
+                }
+                Retire::Sleep => {
+                    self.synchronizer.request_sleep(CoreId::new(slot_idx)?);
+                }
+            }
+        }
+
+        // 7. Synchronizer commit: gating and wake-up.
+        let outcome = self.synchronizer.commit()?;
+        self.stats.sync_region_writes += outcome.memory_writes as u64;
+        for core in outcome.slept.iter() {
+            self.slots[core.index()].core.set_gated(true);
+        }
+        for core in outcome.woken.iter() {
+            self.slots[core.index()].core.set_gated(false);
+        }
+
+        self.stats.cycles += 1;
+        self.stats.adc_overruns = self.adc.overruns();
+        Ok(())
+    }
+
+    fn access_mmio(
+        &mut self,
+        core: usize,
+        addr: u32,
+        store: Option<u16>,
+    ) -> Result<u16, SimError> {
+        let pc = self.slots[core].core.pc();
+        let fault = |kind: FaultKind| -> SimError {
+            Fault {
+                core,
+                pc,
+                addr,
+                kind,
+            }
+            .into()
+        };
+        let reg = MmioReg::decode(addr).ok_or_else(|| fault(FaultKind::MmioUnmapped))?;
+        match store {
+            Some(value) => {
+                self.stats.mmio_writes += 1;
+                match reg {
+                    MmioReg::Subscribe => {
+                        self.synchronizer.subscribe(CoreId::new(core)?, value)?;
+                        Ok(0)
+                    }
+                    _ => Err(fault(FaultKind::MmioReadOnly)),
+                }
+            }
+            None => {
+                self.stats.mmio_reads += 1;
+                match reg {
+                    MmioReg::AdcData(ch) => Ok(self.adc.read_data(ch)),
+                    MmioReg::AdcSeq(ch) => Ok(self.adc.read_seq(ch)),
+                    MmioReg::Subscription => {
+                        Ok(self.synchronizer.subscription(CoreId::new(core)?))
+                    }
+                    MmioReg::CoreId => Ok(core as u16),
+                    MmioReg::Subscribe => Ok(0),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_isa::{assemble_text, Linker, Section};
+
+    fn single_core_platform(asm: &str) -> Platform {
+        let program = assemble_text(asm).expect("test program assembles");
+        let mut linker = Linker::new();
+        linker.add_section(Section::new("main", program));
+        linker.set_entry(0, "main");
+        let image = linker.link().expect("test program links");
+        Platform::new(PlatformConfig::single_core(), &image).expect("platform builds")
+    }
+
+    #[test]
+    fn arithmetic_program_produces_result() {
+        let mut p = single_core_platform(
+            "li r1, 6\n\
+             li r2, 7\n\
+             mul r3, r1, r2\n\
+             sw r3, 0x100(r0)\n\
+             halt\n",
+        );
+        assert_eq!(p.run(1000).unwrap(), RunExit::AllHalted);
+        assert_eq!(p.peek_dm(0x100).unwrap(), 42);
+        assert_eq!(p.stats().cores[0].instructions, 5);
+    }
+
+    #[test]
+    fn loop_timing_counts_bubbles() {
+        // 4 iterations of a 2-instruction loop with a taken branch each
+        // time except the last.
+        let mut p = single_core_platform(
+            "li r1, 4\n\
+             loop: addi r1, r1, -1\n\
+             bne r1, r0, loop\n\
+             halt\n",
+        );
+        assert_eq!(p.run(1000).unwrap(), RunExit::AllHalted);
+        let cs = &p.stats().cores[0];
+        assert_eq!(cs.instructions, 1 + 4 * 2 + 1);
+        assert_eq!(cs.bubbles, 3, "three taken branches");
+    }
+
+    #[test]
+    fn load_use_hazard_costs_a_cycle() {
+        let mut p = single_core_platform(
+            "li r1, 0x40\n\
+             sw r1, 0x40(r0)\n\
+             lw r2, 0x40(r0)\n\
+             add r3, r2, r2\n\
+             halt\n",
+        );
+        assert_eq!(p.run(1000).unwrap(), RunExit::AllHalted);
+        let cs = &p.stats().cores[0];
+        assert_eq!(cs.stall_hazard, 1);
+        assert_eq!(p.core(0).reg(wbsn_isa::Reg::R3), 0x80);
+    }
+
+    #[test]
+    fn decoder_platform_counts_memory_accesses() {
+        let mut p = single_core_platform(
+            "li r1, 1\n\
+             sw r1, 0x50(r0)\n\
+             lw r2, 0x50(r0)\n\
+             halt\n",
+        );
+        p.run(100).unwrap();
+        assert_eq!(p.stats().dm.accesses(), 2);
+        assert_eq!(p.stats().xbar_dm, 0, "decoders are not crossbars");
+        assert!(p.stats().im.accesses() >= 4);
+    }
+
+    #[test]
+    fn quiescent_exit_when_no_work_remains() {
+        // Subscribe to nothing and sleep forever: with no ADC streams the
+        // platform is immediately quiescent after the sleep.
+        let mut p = single_core_platform("sleep\nhalt\n");
+        assert_eq!(p.run(10_000).unwrap(), RunExit::Quiescent);
+        assert!(p.stats().cycles < 100);
+    }
+
+    #[test]
+    fn cycle_limit_exit() {
+        let mut p = single_core_platform("loop: jmp loop\n");
+        assert_eq!(p.run(500).unwrap(), RunExit::CycleLimit);
+        assert!(p.stats().cycles >= 500);
+    }
+
+    #[test]
+    fn adc_wakeup_flow() {
+        // Subscribe to channel 0, sleep, then read data on wake.
+        let mut p = single_core_platform(
+            "li r1, 1\n\
+             lui r2, 0x7F\n\
+             ori r2, r2, 0x20\n\
+             sw r1, 0(r2)\n\
+             sleep\n\
+             lui r3, 0x7F\n\
+             lw r4, 0(r3)\n\
+             sw r4, 0x200(r0)\n\
+             halt\n",
+        );
+        p.set_adc_streams(vec![vec![1234]]);
+        assert_eq!(p.run(100_000).unwrap(), RunExit::AllHalted);
+        assert_eq!(p.peek_dm(0x200).unwrap(), 1234);
+        assert_eq!(p.stats().adc_samples, 1);
+        let cs = &p.stats().cores[0];
+        assert!(cs.gated_cycles > 0, "core slept until the sample");
+    }
+
+    #[test]
+    fn fault_on_store_to_sync_region() {
+        let mut p = single_core_platform("li r1, 5\nsw r1, 0x10(r0)\nhalt\n");
+        let err = p.run(100).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Fault(Fault {
+                kind: FaultKind::WriteToSyncRegion,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn fault_on_unmapped_mmio() {
+        let mut p = single_core_platform(
+            "lui r2, 0x7F\n\
+             ori r2, r2, 0xFF\n\
+             lw r1, 0(r2)\n\
+             halt\n",
+        );
+        let err = p.run(100).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Fault(Fault {
+                kind: FaultKind::MmioUnmapped,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn sync_point_region_is_readable() {
+        let mut p = single_core_platform("lw r1, 0x10(r0)\nsw r1, 0x300(r0)\nhalt\n");
+        p.preload_sync_point(0, 3, false).unwrap();
+        p.run(100).unwrap();
+        assert_eq!(p.peek_dm(0x300).unwrap(), 3);
+        assert_eq!(p.stats().sync_region_reads, 1);
+    }
+
+    #[test]
+    fn absent_cores_never_clock() {
+        let program = assemble_text("halt\n").unwrap();
+        let mut linker = Linker::new();
+        linker.add_section(Section::new("main", program));
+        linker.set_entry(0, "main");
+        let image = linker.link().unwrap();
+        let mut p = Platform::new(PlatformConfig::multi_core(), &image).unwrap();
+        assert_eq!(p.run(1000).unwrap(), RunExit::AllHalted);
+        for idx in 1..8 {
+            assert_eq!(p.stats().cores[idx].active_cycles, 0);
+            assert_eq!(p.stats().cores[idx].instructions, 0);
+        }
+    }
+}

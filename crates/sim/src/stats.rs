@@ -1,0 +1,232 @@
+//! Architectural event counters consumed by the power model.
+
+use wbsn_isa::{DM_BANKS, IM_BANKS};
+
+/// Per-core cycle and instruction accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles the core was clocked (executing, stalled or bubbling).
+    pub active_cycles: u64,
+    /// Cycles lost to instruction-memory arbitration.
+    pub stall_im: u64,
+    /// Cycles lost to data-memory arbitration.
+    pub stall_dm: u64,
+    /// Cycles lost to load-use hazards.
+    pub stall_hazard: u64,
+    /// Pipeline bubbles after taken control transfers.
+    pub bubbles: u64,
+    /// Cycles spent clock-gated.
+    pub gated_cycles: u64,
+    /// Synchronization-point instructions executed (`SINC`/`SDEC`/`SNOP`).
+    pub sync_ops: u64,
+    /// `SLEEP` instructions executed.
+    pub sleeps: u64,
+    /// Largest number of active cycles observed within one ADC sampling
+    /// period — the per-core real-time requirement.
+    pub max_window_active: u64,
+    /// Active cycles in the current (incomplete) ADC window.
+    pub window_active: u64,
+}
+
+impl CoreStats {
+    /// Total cycles the core existed (active + gated).
+    pub fn total_cycles(&self) -> u64 {
+        self.active_cycles + self.gated_cycles
+    }
+
+    /// Fraction of existence spent clocked.
+    pub fn duty_cycle(&self) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.active_cycles as f64 / total as f64
+        }
+    }
+}
+
+/// Per-bank access accounting for one memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankStats {
+    /// Physical read accesses per bank.
+    pub reads: Vec<u64>,
+    /// Physical write accesses per bank.
+    pub writes: Vec<u64>,
+    /// Requests served for free by broadcast merging.
+    pub broadcasts: u64,
+    /// Requests that lost arbitration (stall cycles).
+    pub conflicts: u64,
+}
+
+impl BankStats {
+    /// Creates counters for `banks` banks.
+    pub fn new(banks: usize) -> BankStats {
+        BankStats {
+            reads: vec![0; banks],
+            writes: vec![0; banks],
+            broadcasts: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// Total physical accesses (reads + writes) across banks.
+    pub fn accesses(&self) -> u64 {
+        self.reads.iter().sum::<u64>() + self.writes.iter().sum::<u64>()
+    }
+
+    /// Banks with at least one access — the power model's candidates for
+    /// staying powered in the single-core baseline.
+    pub fn touched_banks(&self) -> usize {
+        self.reads
+            .iter()
+            .zip(&self.writes)
+            .filter(|(r, w)| **r + **w > 0)
+            .count()
+    }
+
+    /// Fraction of satisfied requests that were served by broadcast, in
+    /// percent — Table I's "IM/DM Broadcast (%)".
+    pub fn broadcast_percent(&self) -> f64 {
+        let served = self.accesses() + self.broadcasts;
+        if served == 0 {
+            0.0
+        } else {
+            100.0 * self.broadcasts as f64 / served as f64
+        }
+    }
+}
+
+/// All counters of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Per-core counters.
+    pub cores: Vec<CoreStats>,
+    /// Instruction-memory counters.
+    pub im: BankStats,
+    /// Data-memory counters.
+    pub dm: BankStats,
+    /// Crossbar traversals on the instruction side (granted requests).
+    pub xbar_im: u64,
+    /// Crossbar traversals on the data side.
+    pub xbar_dm: u64,
+    /// Loads served from the synchronization-point region.
+    pub sync_region_reads: u64,
+    /// Merged point writes performed by the synchronizer.
+    pub sync_region_writes: u64,
+    /// MMIO register reads.
+    pub mmio_reads: u64,
+    /// MMIO register writes.
+    pub mmio_writes: u64,
+    /// ADC samples delivered.
+    pub adc_samples: u64,
+    /// ADC samples lost to overruns (real-time violations).
+    pub adc_overruns: u64,
+}
+
+impl SimStats {
+    /// Creates zeroed statistics for `cores` cores.
+    pub fn new(cores: usize) -> SimStats {
+        SimStats {
+            cycles: 0,
+            cores: vec![CoreStats::default(); cores],
+            im: BankStats::new(IM_BANKS),
+            dm: BankStats::new(DM_BANKS),
+            xbar_im: 0,
+            xbar_dm: 0,
+            sync_region_reads: 0,
+            sync_region_writes: 0,
+            mmio_reads: 0,
+            mmio_writes: 0,
+            adc_samples: 0,
+            adc_overruns: 0,
+        }
+    }
+
+    /// Sum of active cycles over all cores.
+    pub fn total_active_cycles(&self) -> u64 {
+        self.cores.iter().map(|c| c.active_cycles).sum()
+    }
+
+    /// Sum of executed synchronization-ISE instructions (`SINC`/`SDEC`/
+    /// `SNOP`/`SLEEP`) over all cores.
+    pub fn total_sync_instrs(&self) -> u64 {
+        self.cores.iter().map(|c| c.sync_ops + c.sleeps).sum()
+    }
+
+    /// Run-time overhead of the synchronization ISE in percent of the
+    /// active cycles — Table I's "Run-time Overhead (%)".
+    pub fn runtime_overhead_percent(&self) -> f64 {
+        let active = self.total_active_cycles();
+        if active == 0 {
+            0.0
+        } else {
+            100.0 * self.total_sync_instrs() as f64 / active as f64
+        }
+    }
+
+    /// The worst per-core real-time requirement: max active cycles within
+    /// one ADC sampling window across all cores.
+    pub fn worst_window_active(&self) -> u64 {
+        self.cores
+            .iter()
+            .map(|c| c.max_window_active.max(c.window_active))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_percent() {
+        let mut b = BankStats::new(4);
+        b.reads[0] = 6;
+        b.broadcasts = 4;
+        assert!((b.broadcast_percent() - 40.0).abs() < 1e-9);
+        assert_eq!(BankStats::new(2).broadcast_percent(), 0.0);
+    }
+
+    #[test]
+    fn touched_banks() {
+        let mut b = BankStats::new(4);
+        b.reads[1] = 1;
+        b.writes[3] = 2;
+        assert_eq!(b.touched_banks(), 2);
+        assert_eq!(b.accesses(), 3);
+    }
+
+    #[test]
+    fn runtime_overhead() {
+        let mut s = SimStats::new(2);
+        s.cores[0].active_cycles = 90;
+        s.cores[1].active_cycles = 10;
+        s.cores[0].sync_ops = 1;
+        s.cores[1].sleeps = 1;
+        assert!((s.runtime_overhead_percent() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duty_cycle() {
+        let c = CoreStats {
+            active_cycles: 25,
+            gated_cycles: 75,
+            ..CoreStats::default()
+        };
+        assert!((c.duty_cycle() - 0.25).abs() < 1e-12);
+        assert_eq!(CoreStats::default().duty_cycle(), 0.0);
+    }
+
+    #[test]
+    fn worst_window_includes_open_window() {
+        let mut s = SimStats::new(2);
+        s.cores[0].max_window_active = 10;
+        s.cores[1].window_active = 42;
+        assert_eq!(s.worst_window_active(), 42);
+    }
+}

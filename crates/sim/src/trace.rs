@@ -1,0 +1,141 @@
+//! Execution tracing: a bounded ring of retired instructions.
+//!
+//! Tracing is the debugging companion of the platform: when enabled it
+//! records the last `capacity` retirements (cycle, core, program counter
+//! and decoded instruction), which is usually what one needs to diagnose
+//! a misbehaving kernel — why a core slept, which branch diverged, what
+//! a lock-step group was fetching when it lost alignment.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use wbsn_isa::Instr;
+
+/// One retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle of retirement.
+    pub cycle: u64,
+    /// Core that retired the instruction.
+    pub core: usize,
+    /// Program counter of the instruction.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>10}] core{} {:#06x}: {}",
+            self.cycle, self.core, self.pc, self.instr
+        )
+    }
+}
+
+/// A bounded retirement trace.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    core_mask: u8,
+}
+
+impl Tracer {
+    /// Creates a tracer holding the last `capacity` events for the cores
+    /// in `core_mask` (bit per core).
+    pub fn new(capacity: usize, core_mask: u8) -> Tracer {
+        Tracer {
+            ring: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            core_mask,
+        }
+    }
+
+    /// Whether `core` is traced.
+    pub fn traces(&self, core: usize) -> bool {
+        self.core_mask & (1 << core) != 0
+    }
+
+    /// Records one retirement.
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.traces(event.core) {
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(event);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Renders the trace as a listing.
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for event in &self.ring {
+            use std::fmt::Write;
+            let _ = writeln!(out, "{event}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_isa::{Instr, Reg};
+
+    fn event(cycle: u64, core: usize) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            core,
+            pc: 0x40 + cycle as u32,
+            instr: Instr::add(Reg::R1, Reg::R2, Reg::R3),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let mut t = Tracer::new(3, 0xFF);
+        for cycle in 0..5 {
+            t.record(event(cycle, 0));
+        }
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn core_mask_filters() {
+        let mut t = Tracer::new(8, 0b01);
+        t.record(event(0, 0));
+        t.record(event(1, 1));
+        assert_eq!(t.len(), 1);
+        assert!(t.traces(0));
+        assert!(!t.traces(1));
+    }
+
+    #[test]
+    fn listing_contains_pcs_and_mnemonics() {
+        let mut t = Tracer::new(4, 0xFF);
+        t.record(event(7, 2));
+        let listing = t.listing();
+        assert!(listing.contains("core2"));
+        assert!(listing.contains("add r1, r2, r3"));
+        assert!(!t.is_empty());
+    }
+}

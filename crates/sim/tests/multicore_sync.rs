@@ -1,0 +1,206 @@
+//! End-to-end multi-core tests: real binaries exercising the
+//! producer-consumer and lock-step protocols on the full platform.
+
+use wbsn_isa::{assemble_text, Linker, Section};
+use wbsn_sim::{Platform, PlatformConfig, RunExit};
+
+fn build_platform(sections: Vec<(&str, &str, usize)>, entries: &[(usize, &str)]) -> Platform {
+    let mut linker = Linker::new();
+    for (name, src, bank) in sections {
+        let program = assemble_text(src).expect("program assembles");
+        linker.add_section(Section::in_bank(name, program, bank));
+    }
+    for &(core, section) in entries {
+        linker.set_entry(core, section);
+    }
+    let image = linker.link().expect("programs link");
+    Platform::new(PlatformConfig::multi_core(), &image).expect("platform builds")
+}
+
+/// Three producers each write one word to shared memory and SINC/SDEC a
+/// point; one consumer SNOPs, sleeps and sums the values after waking.
+#[test]
+fn producer_consumer_pipeline() {
+    let producer = |value: i32, slot: u32| {
+        format!(
+            "sinc 0\n\
+             li r1, {value}\n\
+             sw r1, {slot}(r0)\n\
+             sdec 0\n\
+             halt\n"
+        )
+    };
+    let consumer = "snop 0\n\
+                    sleep\n\
+                    lw r1, 0x100(r0)\n\
+                    lw r2, 0x101(r0)\n\
+                    lw r3, 0x102(r0)\n\
+                    add r1, r1, r2\n\
+                    add r1, r1, r3\n\
+                    sw r1, 0x110(r0)\n\
+                    halt\n";
+    let p0 = producer(10, 0x100);
+    let p1 = producer(20, 0x101);
+    let p2 = producer(30, 0x102);
+    let mut platform = build_platform(
+        vec![
+            ("p0", &p0, 0),
+            ("p1", &p1, 0),
+            ("p2", &p2, 0),
+            ("consumer", consumer, 1),
+        ],
+        &[(0, "p0"), (1, "p1"), (2, "p2"), (3, "consumer")],
+    );
+    assert_eq!(platform.run(10_000).unwrap(), RunExit::AllHalted);
+    assert_eq!(platform.peek_dm(0x110).unwrap(), 60);
+    // The consumer slept while the producers worked.
+    assert!(platform.stats().cores[3].gated_cycles > 0);
+    // The synchronizer fired exactly once.
+    assert_eq!(platform.synchronizer().stats().fires, 1);
+}
+
+/// Two cores running identical code in the same bank fetch in lock-step:
+/// most instruction fetches must merge into broadcasts.
+#[test]
+fn lockstep_fetch_broadcasts() {
+    let body = "li r1, 200\n\
+                loop: addi r1, r1, -1\n\
+                bne r1, r0, loop\n\
+                halt\n";
+    let mut platform = build_platform(
+        vec![("phase", body, 2)],
+        &[(0, "phase"), (1, "phase")],
+    );
+    assert_eq!(platform.run(10_000).unwrap(), RunExit::AllHalted);
+    let im = &platform.stats().im;
+    // Both cores execute the same ~400 instructions from the same
+    // addresses in the same cycles: each cycle one access + one
+    // broadcast.
+    assert!(
+        im.broadcasts > 350,
+        "expected massive fetch merging, got {}",
+        im.broadcasts
+    );
+    assert!((im.broadcast_percent() - 50.0).abs() < 5.0);
+}
+
+/// Same program with broadcasting disabled: every co-fetch serializes, so
+/// there are no broadcasts and many conflicts.
+#[test]
+fn broadcast_ablation_serializes() {
+    let body = "li r1, 50\n\
+                loop: addi r1, r1, -1\n\
+                bne r1, r0, loop\n\
+                halt\n";
+    let program = assemble_text(body).unwrap();
+    let mut linker = Linker::new();
+    linker.add_section(Section::in_bank("phase", program, 2));
+    linker.set_entry(0, "phase");
+    linker.set_entry(1, "phase");
+    let image = linker.link().unwrap();
+    let mut config = PlatformConfig::multi_core();
+    config.broadcast = false;
+    let mut platform = Platform::new(config, &image).unwrap();
+    assert_eq!(platform.run(10_000).unwrap(), RunExit::AllHalted);
+    assert_eq!(platform.stats().im.broadcasts, 0);
+    assert!(platform.stats().im.conflicts > 50);
+}
+
+/// Branch lock-step recovery: two cores take data-dependent paths of
+/// different lengths, then re-synchronize with SINC/SDEC + SLEEP. After
+/// the barrier both re-execute shared code in the same cycles again.
+#[test]
+fn lockstep_recovery_across_branches() {
+    // Core 0 runs a long branch body; core 1 a short one. Both enter
+    // with SINC and leave with SDEC + SLEEP.
+    let long = "sinc 1\n\
+                li r1, 40\n\
+                w0: addi r1, r1, -1\n\
+                bne r1, r0, w0\n\
+                sdec 1\n\
+                sleep\n\
+                li r5, 1\n\
+                sw r5, 0x120(r0)\n\
+                halt\n";
+    let short = "sinc 1\n\
+                 sdec 1\n\
+                 sleep\n\
+                 li r5, 1\n\
+                 sw r5, 0x121(r0)\n\
+                 halt\n";
+    let mut platform = build_platform(
+        vec![("long", long, 0), ("short", short, 1)],
+        &[(0, "long"), (1, "short")],
+    );
+    assert_eq!(platform.run(10_000).unwrap(), RunExit::AllHalted);
+    assert_eq!(platform.peek_dm(0x120).unwrap(), 1);
+    assert_eq!(platform.peek_dm(0x121).unwrap(), 1);
+    // The short core slept while the long one finished its branch body.
+    assert!(platform.stats().cores[1].gated_cycles > 20);
+    assert_eq!(platform.synchronizer().stats().fires, 1);
+}
+
+/// Private sections isolate cores: both write "the same" private address
+/// but read back their own values.
+#[test]
+fn private_memory_isolation() {
+    let cfg = PlatformConfig::multi_core();
+    let private_base = cfg.shared_words; // first private word
+    let writer = |value: i32, out: u32| {
+        format!(
+            "li r2, {private_base}\n\
+             li r1, {value}\n\
+             sw r1, 0(r2)\n\
+             lw r3, 0(r2)\n\
+             sw r3, {out}(r0)\n\
+             halt\n"
+        )
+    };
+    // Both cores run concurrently, write "the same" private address and
+    // report their readback to different shared slots.
+    let w0 = writer(111, 0x130);
+    let w1 = writer(222, 0x131);
+    let mut platform = build_platform(
+        vec![("w0", &w0, 0), ("w1", &w1, 1)],
+        &[(0, "w0"), (1, "w1")],
+    );
+    assert_eq!(platform.run(10_000).unwrap(), RunExit::AllHalted);
+    assert_eq!(platform.peek_dm(0x130).unwrap(), 111);
+    assert_eq!(platform.peek_dm(0x131).unwrap(), 222);
+    // The physical private copies are distinct per core.
+    assert_eq!(platform.peek_dm_for_core(0, private_base).unwrap(), 111);
+    assert_eq!(platform.peek_dm_for_core(1, private_base).unwrap(), 222);
+}
+
+/// Busy-wait producer/consumer without the synchronization ISE: the
+/// consumer polls a shared flag. Functionally equivalent, but the
+/// consumer burns active cycles instead of sleeping.
+#[test]
+fn busy_wait_polling_costs_active_cycles() {
+    let producer = "li r1, 300\n\
+                    w0: addi r1, r1, -1\n\
+                    bne r1, r0, w0\n\
+                    li r2, 42\n\
+                    sw r2, 0x140(r0)\n\
+                    li r3, 1\n\
+                    sw r3, 0x141(r0)\n\
+                    halt\n";
+    let consumer = "poll: lw r1, 0x141(r0)\n\
+                    beq r1, r0, poll\n\
+                    lw r2, 0x140(r0)\n\
+                    sw r2, 0x142(r0)\n\
+                    halt\n";
+    let mut platform = build_platform(
+        vec![("prod", producer, 0), ("cons", consumer, 1)],
+        &[(0, "prod"), (1, "cons")],
+    );
+    assert_eq!(platform.run(100_000).unwrap(), RunExit::AllHalted);
+    assert_eq!(platform.peek_dm(0x142).unwrap(), 42);
+    let cons = &platform.stats().cores[1];
+    assert_eq!(cons.gated_cycles, 0, "no clock gating without SLEEP");
+    assert!(
+        cons.active_cycles > 500,
+        "polling burns cycles: {}",
+        cons.active_cycles
+    );
+}

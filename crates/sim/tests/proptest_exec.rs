@@ -1,0 +1,66 @@
+//! Property tests on the execution unit: the 16-bit datapath agrees
+//! with a wide-arithmetic reference for every operation and operand.
+
+use proptest::prelude::*;
+use wbsn_isa::{AluImmOp, AluOp};
+use wbsn_sim::exec::{abs16, alu, alu_imm};
+
+proptest! {
+    #[test]
+    fn alu_matches_wide_reference(a in any::<u16>(), b in any::<u16>()) {
+        let (sa, sb) = (a as i16 as i32, b as i16 as i32);
+        prop_assert_eq!(alu(AluOp::Add, a, b), (sa + sb) as u16);
+        prop_assert_eq!(alu(AluOp::Sub, a, b), (sa - sb) as u16);
+        prop_assert_eq!(alu(AluOp::And, a, b), a & b);
+        prop_assert_eq!(alu(AluOp::Or, a, b), a | b);
+        prop_assert_eq!(alu(AluOp::Xor, a, b), a ^ b);
+        let sh = (b & 0xF) as u32;
+        prop_assert_eq!(alu(AluOp::Sll, a, b), ((a as u32) << sh) as u16);
+        prop_assert_eq!(alu(AluOp::Srl, a, b), a >> sh);
+        prop_assert_eq!(alu(AluOp::Sra, a, b), ((a as i16) >> sh) as u16);
+        let product = sa * sb;
+        prop_assert_eq!(alu(AluOp::Mul, a, b), product as u16);
+        prop_assert_eq!(alu(AluOp::Mulh, a, b), (product >> 16) as u16);
+        prop_assert_eq!(alu(AluOp::Min, a, b), sa.min(sb) as u16);
+        prop_assert_eq!(alu(AluOp::Max, a, b), sa.max(sb) as u16);
+        prop_assert_eq!(alu(AluOp::Slt, a, b), (sa < sb) as u16);
+        prop_assert_eq!(alu(AluOp::Sltu, a, b), (a < b) as u16);
+    }
+
+    #[test]
+    fn mul_mulh_reassemble_the_full_product(a in any::<u16>(), b in any::<u16>()) {
+        let lo = alu(AluOp::Mul, a, b) as i32 & 0xFFFF;
+        let hi = alu(AluOp::Mulh, a, b) as i16 as i32;
+        prop_assert_eq!((hi << 16) | lo, (a as i16 as i32) * (b as i16 as i32));
+    }
+
+    #[test]
+    fn imm_forms_match_register_forms(a in any::<u16>(), imm in 0i16..4096) {
+        prop_assert_eq!(alu_imm(AluImmOp::Andi, a, imm), alu(AluOp::And, a, imm as u16));
+        prop_assert_eq!(alu_imm(AluImmOp::Ori, a, imm), alu(AluOp::Or, a, imm as u16));
+        prop_assert_eq!(alu_imm(AluImmOp::Xori, a, imm), alu(AluOp::Xor, a, imm as u16));
+        let sh = imm & 0xF;
+        prop_assert_eq!(alu_imm(AluImmOp::Slli, a, sh), alu(AluOp::Sll, a, sh as u16));
+        prop_assert_eq!(alu_imm(AluImmOp::Srli, a, sh), alu(AluOp::Srl, a, sh as u16));
+        prop_assert_eq!(alu_imm(AluImmOp::Srai, a, sh), alu(AluOp::Sra, a, sh as u16));
+    }
+
+    #[test]
+    fn addi_sign_extends(a in any::<u16>(), imm in -2048i16..2048) {
+        prop_assert_eq!(
+            alu_imm(AluImmOp::Addi, a, imm),
+            (a as i16).wrapping_add(imm) as u16
+        );
+    }
+
+    #[test]
+    fn abs_is_nonnegative_and_fixed_on_min(a in any::<u16>()) {
+        let r = abs16(a) as i16;
+        prop_assert!(r >= 0);
+        if a as i16 != i16::MIN {
+            prop_assert_eq!(r, (a as i16).abs());
+        } else {
+            prop_assert_eq!(r, i16::MAX);
+        }
+    }
+}

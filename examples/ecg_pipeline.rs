@@ -1,0 +1,64 @@
+//! The 3L-MMD pipeline end to end: synthesize a three-lead ECG, run the
+//! five-core delineation application on the simulated platform, and
+//! check its fiducial points against the golden Rust model.
+//!
+//! Run with: `cargo run --release --example ecg_pipeline`
+
+use wbsn::dsp::ecg::{synthesize, EcgConfig};
+use wbsn::kernels::golden::{golden_combined, golden_fiducials, golden_filtered};
+use wbsn::kernels::{build_mmd, layout, Arch, BuildOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let recording = synthesize(&EcgConfig {
+        fs: 500,
+        duration_s: 4.0,
+        ..EcgConfig::healthy_60s()
+    });
+    println!(
+        "synthesized {} samples x {} leads, {} beats",
+        recording.leads[0].len(),
+        recording.leads.len(),
+        recording.beats.len()
+    );
+
+    let app = build_mmd(Arch::MultiCore, &BuildOptions::default())?;
+    println!("{}", app.plan.as_ref().expect("multi-core build has a plan"));
+    println!("code overhead {:.2}%", app.code_overhead_percent());
+
+    let samples = recording.leads[0].len() as u64;
+    let budget = app.config.adc.start_cycle + (samples + 8) * app.config.adc.period_cycles;
+    let mut platform = app.platform(recording.leads.clone())?;
+    platform.run(budget)?;
+
+    // Fiducial points found by the platform.
+    let events = platform.peek_dm(layout::EVENT_COUNT)? as usize;
+    println!("\nfiducial points detected on the platform: {events}");
+    for i in 0..events {
+        let slot = layout::EVENT_RING + 4 * (i as u32 & (layout::EVENT_RING_LEN - 1));
+        let onset = platform.peek_dm(slot)?;
+        let sample = platform.peek_dm(slot + 1)?;
+        let strength = platform.peek_dm(slot + 2)? as i16;
+        println!("  event {i}: onset {onset}, peak {sample}, strength {strength}");
+    }
+
+    // Cross-check against the golden model.
+    let golden = golden_fiducials(&golden_combined(&golden_filtered(&recording)));
+    assert_eq!(events, golden.len(), "platform and golden model agree");
+    println!("golden model agrees: {} fiducial points", golden.len());
+
+    let stats = platform.stats();
+    println!(
+        "\nIM broadcast: {:.1}%  |  synchronizer fires: {}  |  run-time overhead: {:.2}%",
+        stats.im.broadcast_percent(),
+        platform.synchronizer().stats().fires,
+        stats.runtime_overhead_percent()
+    );
+    for core in 0..app.active_cores {
+        println!(
+            "core {core}: duty {:5.1}%  ({} instructions)",
+            100.0 * stats.cores[core].duty_cycle(),
+            stats.cores[core].instructions
+        );
+    }
+    Ok(())
+}

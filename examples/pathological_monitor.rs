@@ -1,0 +1,58 @@
+//! RP-CLASS in action: a six-core heartbeat monitor whose four-core
+//! delineation chain wakes up only for pathological beats.
+//!
+//! Run with: `cargo run --release --example pathological_monitor`
+
+use wbsn::dsp::ecg::{synthesize, EcgConfig};
+use wbsn::kernels::{build_rpclass, layout, Arch, BuildOptions, ClassifierParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training the random-projection classifier offline...");
+    let params = ClassifierParams::default_trained();
+    let options = BuildOptions {
+        // A generous sampling period so the single build works for every
+        // input mix in this demo.
+        adc_period_cycles: 16_000,
+        ..BuildOptions::default()
+    };
+    let app = build_rpclass(Arch::MultiCore, &options, &params)?;
+
+    for fraction in [0.0, 0.3] {
+        let recording = synthesize(&EcgConfig {
+            fs: 500,
+            duration_s: 8.0,
+            pathological_fraction: fraction,
+            seed: 0xD0C7,
+            ..EcgConfig::healthy_60s()
+        });
+        let samples = recording.leads[0].len() as u64;
+        let budget =
+            app.config.adc.start_cycle + (samples + 8) * app.config.adc.period_cycles;
+        let mut platform = app.platform(recording.leads.clone())?;
+        platform.run(budget)?;
+
+        let beats = platform.peek_dm(layout::BEAT_COUNT)?;
+        let pathological = platform.peek_dm(layout::PATH_COUNT)?;
+        let events = platform.peek_dm(layout::EVENT_COUNT)?;
+        println!(
+            "\n=== input with {:.0}% abnormal beats ===",
+            fraction * 100.0
+        );
+        println!("beats classified      : {beats} ({pathological} pathological)");
+        println!("delineation events    : {events}");
+        let stats = platform.stats();
+        let names = [
+            "classifier", "conditioner0", "chain cond1", "chain cond2", "chain combine",
+            "chain delineate",
+        ];
+        for (core, name) in names.iter().enumerate() {
+            println!(
+                "  {name:<16} duty {:5.2}%",
+                100.0 * stats.cores[core].duty_cycle()
+            );
+        }
+    }
+    println!("\nthe chain's duty rises only when abnormalities are present —");
+    println!("the non-uniform workload the paper's Fig. 7 sweeps.");
+    Ok(())
+}

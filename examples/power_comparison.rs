@@ -1,0 +1,42 @@
+//! The headline experiment in miniature: measure the 3L-MF benchmark on
+//! the single-core baseline and the multi-core platform with the
+//! proposed synchronization, and print the Fig. 6-style power
+//! decomposition of both.
+//!
+//! Run with: `cargo run --release --example power_comparison`
+
+use wbsn_bench::{measure, BenchmarkId, ExperimentConfig, RunVariant};
+use wbsn_kernels::ClassifierParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ExperimentConfig {
+        duration_s: 10.0,
+        ..ExperimentConfig::default()
+    };
+    let params = ClassifierParams::default_trained();
+
+    let sc = measure(BenchmarkId::Mf, RunVariant::SingleCore, &config, &params)?;
+    let mc = measure(BenchmarkId::Mf, RunVariant::MultiCoreSync, &config, &params)?;
+
+    for m in [&sc, &mc] {
+        println!(
+            "=== {} on {} ===",
+            m.benchmark.name(),
+            m.variant.label()
+        );
+        println!(
+            "clock {:.1} MHz at {:.1} V, {} cores, IM broadcast {:.1}%",
+            m.clock_hz / 1e6,
+            m.voltage,
+            m.active_cores,
+            m.im_broadcast_percent
+        );
+        println!("{}", m.breakdown);
+        println!();
+    }
+    let saving = 100.0 * (1.0 - mc.power_uw() / sc.power_uw());
+    println!(
+        "multi-core saving: {saving:.1}%  (the paper reports up to 40% for this benchmark)"
+    );
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! Command-line assembler + linker: turn `.asm` sources into a loadable
+//! WBSN image.
+//!
+//! ```text
+//! USAGE: wbsn-asm [OPTIONS] <file[:bank]>...
+//!
+//!   -o <out.img>            output path (default: a.img)
+//!   --entry <core=section>  entry point (repeatable; section = file stem)
+//!   --data <addr=v,v,...>   initial data-memory segment (repeatable)
+//!
+//! Each input file becomes one section named after its stem; an optional
+//! `:bank` suffix pins it to an instruction bank (the paper's building
+//! directive), otherwise the linker packs first-fit.
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use wbsn::isa::{assemble_text, image, lint, DataSegment, Linker, Section};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: wbsn-asm [-o out.img] [--lint] [--entry core=section]... [--data addr=v,v,..]... <file[:bank]>...");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut out = "a.img".to_string();
+    let mut run_lint = false;
+    let mut entries: Vec<(usize, String)> = Vec::new();
+    let mut data: Vec<DataSegment> = Vec::new();
+    let mut inputs: Vec<(String, Option<usize>)> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" => match args.next() {
+                Some(path) => out = path,
+                None => return usage(),
+            },
+            "--entry" => {
+                let Some(spec) = args.next() else { return usage() };
+                let Some((core, section)) = spec.split_once('=') else {
+                    return usage();
+                };
+                let Ok(core) = core.parse() else { return usage() };
+                entries.push((core, section.to_string()));
+            }
+            "--data" => {
+                let Some(spec) = args.next() else { return usage() };
+                let Some((addr, values)) = spec.split_once('=') else {
+                    return usage();
+                };
+                let Ok(addr) = parse_int(addr) else { return usage() };
+                let words: Result<Vec<u16>, _> =
+                    values.split(',').map(|v| parse_int(v).map(|x| x as u16)).collect();
+                let Ok(words) = words else { return usage() };
+                data.push(DataSegment::new(addr, words));
+            }
+            "--lint" => run_lint = true,
+            "-h" | "--help" => return usage(),
+            path => {
+                let (file, bank) = match path.rsplit_once(':') {
+                    Some((file, bank)) if bank.chars().all(|c| c.is_ascii_digit()) => {
+                        (file.to_string(), bank.parse().ok())
+                    }
+                    _ => (path.to_string(), None),
+                };
+                inputs.push((file, bank));
+            }
+        }
+    }
+    if inputs.is_empty() {
+        return usage();
+    }
+
+    let mut linker = Linker::new();
+    let mut first_section = None;
+    for (file, bank) in &inputs {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("wbsn-asm: cannot read {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let program = match assemble_text(&source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("wbsn-asm: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if run_lint {
+            for warning in lint::lint(&program, &lint::LintConfig::default()) {
+                eprintln!("wbsn-asm: {file}: warning: {warning}");
+            }
+        }
+        let name = Path::new(file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("main")
+            .to_string();
+        first_section.get_or_insert(name.clone());
+        match bank {
+            Some(bank) => linker.add_section(Section::in_bank(name, program, *bank)),
+            None => linker.add_section(Section::new(name, program)),
+        };
+    }
+    for segment in data {
+        linker.add_data(segment);
+    }
+    if entries.is_empty() {
+        linker.set_entry(0, first_section.expect("at least one input"));
+    }
+    for (core, section) in entries {
+        linker.set_entry(core, section);
+    }
+
+    let linked = match linker.link() {
+        Ok(image) => image,
+        Err(e) => {
+            eprintln!("wbsn-asm: link error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, image::to_bytes(&linked)) {
+        eprintln!("wbsn-asm: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{out}: {} sections, {} words of code ({} sync), {} IM bank(s), {} entries",
+        linked.sections().len(),
+        linked.code_words(),
+        linked.sync_words(),
+        linked.active_im_banks(),
+        linked.entries().count(),
+    );
+    ExitCode::SUCCESS
+}
+
+fn parse_int(text: &str) -> Result<u32, std::num::ParseIntError> {
+    match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u32::from_str_radix(hex, 16),
+        None => text.parse(),
+    }
+}

@@ -1,0 +1,58 @@
+//! Command-line disassembler for WBSN images.
+//!
+//! ```text
+//! USAGE: wbsn-dis <image.img>
+//! ```
+
+use std::process::ExitCode;
+
+use wbsn::isa::{disasm, image};
+
+fn main() -> ExitCode {
+    let Some(input) = std::env::args().nth(1) else {
+        eprintln!("usage: wbsn-dis <image.img>");
+        return ExitCode::from(2);
+    };
+    let bytes = match std::fs::read(&input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("wbsn-dis: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let linked = match image::from_bytes(&bytes) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("wbsn-dis: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for section in linked.sections() {
+        let entry = linked
+            .entries()
+            .filter(|(_, addr)| *addr == section.base)
+            .map(|(core, _)| format!(" <- core {core}"))
+            .collect::<String>();
+        println!(
+            "section {} @ {:#06x} (bank {}){entry}:",
+            section.name,
+            section.base,
+            section.base as usize / wbsn::isa::IM_BANK_WORDS
+        );
+        let words: Vec<u32> = (0..section.len)
+            .map(|offset| linked.instr_word(section.base + offset as u32))
+            .collect();
+        for line in disasm::disassemble(&words, section.base) {
+            println!("  {line}");
+        }
+        println!();
+    }
+    let init: Vec<(u32, u16)> = linked.dm_init().collect();
+    if !init.is_empty() {
+        println!("initial data ({} words):", init.len());
+        for (addr, word) in init {
+            println!("  {addr:#06x}: {word:#06x}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,163 @@
+//! Command-line platform runner: load a WBSN image and execute it.
+//!
+//! ```text
+//! USAGE: wbsn-run [OPTIONS] <image.img>
+//!
+//!   --single-core        decoder baseline (default: 8-core platform)
+//!   --cycles <N>         cycle budget (default: 1,000,000)
+//!   --dump <addr:len>    print a data-memory range after the run (repeatable)
+//!   --trace <N>          keep and print the last N retirements
+//!   --break <pc>         stop when any core is about to execute pc (repeatable)
+//!   --watch <addr>       stop after any core writes addr (repeatable)
+//! ```
+
+use std::process::ExitCode;
+
+use wbsn::isa::image;
+use wbsn::sim::{Platform, PlatformConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: wbsn-run [--single-core] [--cycles N] [--dump addr:len]... [--trace N] [--break pc]... [--watch addr]... <image.img>"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut single_core = false;
+    let mut cycles: u64 = 1_000_000;
+    let mut dumps: Vec<(u32, u32)> = Vec::new();
+    let mut trace: Option<usize> = None;
+    let mut breakpoints: Vec<u32> = Vec::new();
+    let mut watchpoints: Vec<u32> = Vec::new();
+    let mut input: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--single-core" => single_core = true,
+            "--cycles" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cycles = n,
+                None => return usage(),
+            },
+            "--trace" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => trace = Some(n),
+                None => return usage(),
+            },
+            "--break" => match args.next().and_then(|v| parse_int(&v).ok()) {
+                Some(pc) => breakpoints.push(pc),
+                None => return usage(),
+            },
+            "--watch" => match args.next().and_then(|v| parse_int(&v).ok()) {
+                Some(addr) => watchpoints.push(addr),
+                None => return usage(),
+            },
+            "--dump" => {
+                let Some(spec) = args.next() else { return usage() };
+                let Some((addr, len)) = spec.split_once(':') else {
+                    return usage();
+                };
+                match (parse_int(addr), parse_int(len)) {
+                    (Ok(a), Ok(l)) => dumps.push((a, l)),
+                    _ => return usage(),
+                }
+            }
+            "-h" | "--help" => return usage(),
+            path => input = Some(path.to_string()),
+        }
+    }
+    let Some(input) = input else { return usage() };
+
+    let bytes = match std::fs::read(&input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("wbsn-run: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let linked = match image::from_bytes(&bytes) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("wbsn-run: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = if single_core {
+        PlatformConfig::single_core()
+    } else {
+        PlatformConfig::multi_core()
+    };
+    let mut platform = match Platform::new(config, &linked) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("wbsn-run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(capacity) = trace {
+        platform.enable_trace(capacity, 0xFF);
+    }
+    for pc in breakpoints {
+        platform.add_breakpoint(pc);
+    }
+    for addr in watchpoints {
+        platform.add_watchpoint(addr);
+    }
+
+    match platform.run(cycles) {
+        Ok(exit) => {
+            let stats = platform.stats();
+            println!("exit: {exit:?} after {} cycles", stats.cycles);
+            for (core, cs) in stats.cores.iter().enumerate() {
+                if cs.instructions == 0 {
+                    continue;
+                }
+                println!(
+                    "core {core}: {} instructions, {} active / {} gated cycles, duty {:.1}%",
+                    cs.instructions,
+                    cs.active_cycles,
+                    cs.gated_cycles,
+                    100.0 * cs.duty_cycle()
+                );
+            }
+            println!(
+                "IM accesses {} (broadcast {:.1}%), DM accesses {}, sync fires {}",
+                stats.im.accesses(),
+                stats.im.broadcast_percent(),
+                stats.dm.accesses(),
+                platform.synchronizer().stats().fires
+            );
+        }
+        Err(e) => {
+            eprintln!("wbsn-run: {e}");
+            if let Some(tracer) = platform.trace() {
+                eprintln!("--- last retirements ---");
+                eprint!("{}", tracer.listing());
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for (addr, len) in dumps {
+        print!("dm[{addr:#06x}..{:#06x}]:", addr + len);
+        for offset in 0..len {
+            match platform.peek_dm(addr + offset) {
+                Ok(word) => print!(" {word:#06x}"),
+                Err(_) => print!(" ????"),
+            }
+        }
+        println!();
+    }
+    if let Some(tracer) = platform.trace() {
+        println!("--- last retirements ---");
+        print!("{}", tracer.listing());
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_int(text: &str) -> Result<u32, std::num::ParseIntError> {
+    match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u32::from_str_radix(hex, 16),
+        None => text.parse(),
+    }
+}

@@ -1,0 +1,22 @@
+//! Facade crate re-exporting the whole WBSN reproduction workspace.
+//!
+//! This crate exists so that examples and cross-crate integration tests
+//! can depend on a single name. See the individual crates for the actual
+//! functionality:
+//!
+//! * [`isa`] — instruction set, assembler, builder, linker.
+//! * [`core`] — synchronization points, synchronizer unit, task graphs
+//!   and application mapping (the paper's contribution).
+//! * [`sim`] — the cycle-level multi-core WBSN platform simulator.
+//! * [`power`] — energy characterization, VFS and power breakdown.
+//! * [`dsp`] — golden fixed-point bio-signal processing and the
+//!   synthetic multi-lead ECG generator.
+//! * [`kernels`] — the 3L-MF, 3L-MMD and RP-CLASS benchmark
+//!   applications as generated ISA programs.
+
+pub use wbsn_core as core;
+pub use wbsn_dsp as dsp;
+pub use wbsn_isa as isa;
+pub use wbsn_kernels as kernels;
+pub use wbsn_power as power;
+pub use wbsn_sim as sim;

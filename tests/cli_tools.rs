@@ -1,0 +1,79 @@
+//! End-to-end test of the command-line tool-chain: `wbsn-asm` assembles
+//! and links sources into an image, `wbsn-run` executes it, `wbsn-dis`
+//! disassembles it.
+
+use std::process::Command;
+
+fn write(path: &std::path::Path, content: &str) {
+    std::fs::write(path, content).expect("test file writable");
+}
+
+#[test]
+fn assemble_run_disassemble_round_trip() {
+    let dir = std::env::temp_dir().join(format!("wbsn-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let prod = dir.join("prod.asm");
+    let cons = dir.join("cons.asm");
+    let img = dir.join("demo.img");
+    write(
+        &prod,
+        "sinc 0\nli r1, 6\nli r2, 7\nmul r3, r1, r2\nsw r3, 0x100(r0)\nsdec 0\nhalt\n",
+    );
+    write(
+        &cons,
+        "snop 0\nsleep\nlw r1, 0x100(r0)\nadd r1, r1, r1\nsw r1, 0x101(r0)\nhalt\n",
+    );
+
+    let asm = Command::new(env!("CARGO_BIN_EXE_wbsn-asm"))
+        .arg("-o")
+        .arg(&img)
+        .args(["--entry", "0=prod", "--entry", "1=cons"])
+        .arg(format!("{}:0", prod.display()))
+        .arg(format!("{}:1", cons.display()))
+        .output()
+        .expect("wbsn-asm runs");
+    assert!(asm.status.success(), "asm: {:?}", asm);
+    let stdout = String::from_utf8_lossy(&asm.stdout);
+    assert!(stdout.contains("2 sections"), "{stdout}");
+    assert!(stdout.contains("(4 sync)"), "{stdout}");
+
+    let run = Command::new(env!("CARGO_BIN_EXE_wbsn-run"))
+        .args(["--dump", "0x100:2"])
+        .arg(&img)
+        .output()
+        .expect("wbsn-run runs");
+    assert!(run.status.success(), "run: {:?}", run);
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(stdout.contains("AllHalted"), "{stdout}");
+    assert!(stdout.contains("0x002a 0x0054"), "{stdout}");
+    assert!(stdout.contains("sync fires 1"), "{stdout}");
+
+    let dis = Command::new(env!("CARGO_BIN_EXE_wbsn-dis"))
+        .arg(&img)
+        .output()
+        .expect("wbsn-dis runs");
+    assert!(dis.status.success(), "dis: {:?}", dis);
+    let stdout = String::from_utf8_lossy(&dis.stdout);
+    assert!(stdout.contains("section prod"), "{stdout}");
+    assert!(stdout.contains("sinc 0"), "{stdout}");
+    assert!(stdout.contains("<- core 1"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let missing = Command::new(env!("CARGO_BIN_EXE_wbsn-asm"))
+        .arg("/nonexistent/input.asm")
+        .output()
+        .expect("runs");
+    assert!(!missing.status.success());
+
+    let bad_image = Command::new(env!("CARGO_BIN_EXE_wbsn-run"))
+        .arg("/dev/null")
+        .output()
+        .expect("runs");
+    assert!(!bad_image.status.success());
+    // An empty file fails the header read before the magic check.
+    assert!(String::from_utf8_lossy(&bad_image.stderr).contains("truncated"));
+}

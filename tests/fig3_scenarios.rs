@@ -1,0 +1,109 @@
+//! The two scenarios of the paper's Fig. 3, executed both on the
+//! synchronizer unit directly and as real binaries on the full platform.
+
+use wbsn::core::{CoreId, SyncPointValue, Synchronizer};
+use wbsn::isa::{assemble_text, Linker, Section, SyncKind};
+use wbsn::sim::{Platform, PlatformConfig, RunExit};
+
+fn core(i: usize) -> CoreId {
+    CoreId::new(i).expect("test core in range")
+}
+
+/// Fig. 3-a: cores 0, 1 and 2 jointly produce data for core 4; data is
+/// not yet available. The point's word must read flags {0,1,2,4} with
+/// counter 3, and core 4 must resume exactly when the last producer
+/// finishes.
+#[test]
+fn fig3a_unit_level() {
+    let mut sync = Synchronizer::new(8, 1).expect("valid");
+    for i in 0..3 {
+        sync.submit_op(core(i), SyncKind::Inc, 0).expect("staged");
+    }
+    sync.submit_op(core(4), SyncKind::Nop, 0).expect("staged");
+    sync.commit().expect("consistent");
+
+    let value = sync.point_value(0).expect("point exists");
+    assert_eq!(value, SyncPointValue::from_word(0b0001_0111 << 8 | 3));
+
+    sync.request_sleep(core(4));
+    sync.commit().expect("consistent");
+    for i in 0..3 {
+        sync.submit_op(core(i), SyncKind::Dec, 0).expect("staged");
+        let outcome = sync.commit().expect("consistent");
+        if i < 2 {
+            assert!(outcome.woken.is_empty(), "woken too early at SDEC {i}");
+        } else {
+            assert!(outcome.woken.contains(core(4)), "last SDEC releases");
+        }
+    }
+}
+
+/// Fig. 3-b: cores 0, 1 and 2 enter a data-dependent branch; core 0
+/// finishes first. The point reads flags {0,1,2} with counter 2.
+#[test]
+fn fig3b_unit_level() {
+    let mut sync = Synchronizer::new(8, 1).expect("valid");
+    for i in 0..3 {
+        sync.submit_op(core(i), SyncKind::Inc, 0).expect("staged");
+    }
+    sync.commit().expect("consistent");
+    sync.submit_op(core(0), SyncKind::Dec, 0).expect("staged");
+    sync.commit().expect("consistent");
+
+    let value = sync.point_value(0).expect("point exists");
+    assert_eq!(value.flags().bits(), 0b0000_0111);
+    assert_eq!(value.counter(), 2);
+}
+
+/// Fig. 3-b on the full platform: three cores take branch bodies of
+/// different lengths and re-synchronize with SINC/SDEC + SLEEP; after
+/// the barrier they write a completion stamp. All stamps must be
+/// present, and every core must have spent time clock-gated except the
+/// slowest.
+#[test]
+fn fig3b_on_the_platform() {
+    let mut linker = Linker::new();
+    for (idx, body_len) in [60u32, 5, 30].into_iter().enumerate() {
+        let src = format!(
+            "sinc 0\n\
+             li r1, {body_len}\n\
+             body: addi r1, r1, -1\n\
+             bne r1, r0, body\n\
+             sdec 0\n\
+             sleep\n\
+             li r2, 1\n\
+             sw r2, {stamp}(r0)\n\
+             halt\n",
+            stamp = 0x100 + idx,
+        );
+        let program = assemble_text(&src).expect("assembles");
+        let name = format!("phase{idx}");
+        linker.add_section(Section::in_bank(&name, program, idx));
+        linker.set_entry(idx, &name);
+    }
+    let image = linker.link().expect("links");
+    let mut platform =
+        Platform::new(PlatformConfig::multi_core(), &image).expect("platform builds");
+    assert_eq!(platform.run(100_000).expect("runs"), RunExit::AllHalted);
+    for idx in 0..3 {
+        assert_eq!(platform.peek_dm(0x100 + idx).expect("readable"), 1);
+    }
+    // The fast cores waited for the slow one.
+    let stats = platform.stats();
+    assert!(stats.cores[1].gated_cycles > stats.cores[0].gated_cycles);
+    assert_eq!(platform.synchronizer().stats().fires, 1);
+}
+
+/// The merge rule: several synchronization instructions issued in the
+/// same cycle on the same location become one consistent modification.
+#[test]
+fn same_cycle_requests_merge_into_one_write() {
+    let mut sync = Synchronizer::new(8, 1).expect("valid");
+    for i in 0..8 {
+        sync.submit_op(core(i), SyncKind::Inc, 0).expect("staged");
+    }
+    let outcome = sync.commit().expect("consistent");
+    assert_eq!(outcome.memory_writes, 1, "one physical write");
+    assert_eq!(sync.stats().merged, 7, "seven requests rode along");
+    assert_eq!(sync.point_value(0).expect("point").counter(), 8);
+}

@@ -1,0 +1,125 @@
+//! Workspace-level integration: every benchmark application built,
+//! mapped, linked, loaded and run end to end through the facade crate.
+
+use wbsn::dsp::ecg::{synthesize, EcgConfig};
+use wbsn::kernels::{
+    build_mf, build_mmd, build_rpclass, layout, Arch, BuildOptions, BuiltApp, ClassifierParams,
+    SyncApproach,
+};
+use wbsn::sim::Platform;
+
+fn recording(seconds: f64, fraction: f64) -> wbsn::dsp::ecg::EcgRecording {
+    synthesize(&EcgConfig {
+        fs: 500,
+        duration_s: seconds,
+        pathological_fraction: fraction,
+        seed: 0xF011,
+        ..EcgConfig::healthy_60s()
+    })
+}
+
+fn run(app: &BuiltApp, leads: Vec<Vec<i16>>) -> Platform {
+    let samples = leads[0].len() as u64;
+    let budget = app.config.adc.start_cycle + (samples + 8) * app.config.adc.period_cycles;
+    let mut platform = app.platform(leads).expect("platform builds");
+    platform.run(budget).expect("no faults");
+    assert_eq!(platform.adc_overruns(), 0, "real time met");
+    platform
+}
+
+fn generous(approach: SyncApproach) -> BuildOptions {
+    BuildOptions {
+        approach,
+        adc_period_cycles: 16_000,
+        ..BuildOptions::default()
+    }
+}
+
+#[test]
+fn every_benchmark_builds_and_runs_on_every_configuration() {
+    let params = ClassifierParams::default_trained();
+    let rec = recording(2.0, 0.3);
+    let apps: Vec<BuiltApp> = vec![
+        build_mf(Arch::SingleCore, &generous(SyncApproach::Hardware)).expect("mf sc"),
+        build_mf(Arch::MultiCore, &generous(SyncApproach::Hardware)).expect("mf mc"),
+        build_mf(Arch::MultiCore, &generous(SyncApproach::BusyWait)).expect("mf bw"),
+        build_mmd(Arch::SingleCore, &generous(SyncApproach::Hardware)).expect("mmd sc"),
+        build_mmd(Arch::MultiCore, &generous(SyncApproach::Hardware)).expect("mmd mc"),
+        build_mmd(Arch::MultiCore, &generous(SyncApproach::BusyWait)).expect("mmd bw"),
+        build_rpclass(Arch::SingleCore, &generous(SyncApproach::Hardware), &params)
+            .expect("rp sc"),
+        build_rpclass(Arch::MultiCore, &generous(SyncApproach::Hardware), &params)
+            .expect("rp mc"),
+        build_rpclass(Arch::MultiCore, &generous(SyncApproach::BusyWait), &params)
+            .expect("rp bw"),
+    ];
+    for app in &apps {
+        let platform = run(app, rec.leads.clone());
+        // Every configuration filtered the whole stream for lead 0.
+        let count0 = platform.peek_dm(layout::LEAD_COUNT_BASE).expect("count");
+        assert!(
+            count0 as usize >= rec.leads[0].len() - 2,
+            "{} {:?} {:?}: lead 0 produced {count0}",
+            app.name,
+            app.arch,
+            app.approach
+        );
+    }
+}
+
+#[test]
+fn hardware_sync_beats_busy_wait_on_active_cycles() {
+    let rec = recording(2.0, 0.0);
+    let hw = build_mmd(Arch::MultiCore, &generous(SyncApproach::Hardware)).expect("hw");
+    let bw = build_mmd(Arch::MultiCore, &generous(SyncApproach::BusyWait)).expect("bw");
+    let hw_active = run(&hw, rec.leads.clone()).stats().total_active_cycles();
+    let bw_active = run(&bw, rec.leads.clone()).stats().total_active_cycles();
+    assert!(
+        hw_active * 3 < bw_active,
+        "clock gating should cut active cycles drastically: hw={hw_active} bw={bw_active}"
+    );
+}
+
+#[test]
+fn mapping_methodology_reports_match_the_loaded_images() {
+    let params = ClassifierParams::default_trained();
+    for (app, cores, banks) in [
+        (build_mf(Arch::MultiCore, &BuildOptions::default()).expect("mf"), 3, 1),
+        (build_mmd(Arch::MultiCore, &BuildOptions::default()).expect("mmd"), 5, 3),
+        (
+            build_rpclass(Arch::MultiCore, &BuildOptions::default(), &params).expect("rp"),
+            6,
+            5,
+        ),
+    ] {
+        assert_eq!(app.active_cores, cores, "{}", app.name);
+        assert_eq!(app.active_im_banks(), banks, "{}", app.name);
+        let plan = app.plan.as_ref().expect("multi-core builds have plans");
+        assert_eq!(plan.cores_used(), cores, "{}", app.name);
+        assert!(app.code_overhead_percent() < 5.0, "{}", app.name);
+    }
+}
+
+#[test]
+fn broadcast_ablation_reduces_merging_but_preserves_results() {
+    let rec = recording(2.0, 0.0);
+    let on = build_mf(Arch::MultiCore, &BuildOptions::default()).expect("on");
+    let off = build_mf(
+        Arch::MultiCore,
+        &BuildOptions {
+            broadcast: false,
+            ..BuildOptions::default()
+        },
+    )
+    .expect("off");
+    let p_on = run(&on, rec.leads.clone());
+    let p_off = run(&off, rec.leads.clone());
+    assert!(p_on.stats().im.broadcasts > 0);
+    assert_eq!(p_off.stats().im.broadcasts, 0);
+    // Same outputs either way.
+    for lead in 0..3 {
+        let a = p_on.peek_dm(layout::out_ring(lead) + 100).expect("a");
+        let b = p_off.peek_dm(layout::out_ring(lead) + 100).expect("b");
+        assert_eq!(a, b, "lead {lead}");
+    }
+}
