@@ -24,8 +24,8 @@ fn table1_rows(c: &mut Criterion) {
     group.bench_function("mf_sc_and_mc_row", |b| {
         b.iter(|| {
             let config = quick_config(0.2);
-            let sc = measure(Bench::Mf, RunVariant::SingleCore, &config, &params)
-                .expect("SC measures");
+            let sc =
+                measure(Bench::Mf, RunVariant::SingleCore, &config, &params).expect("SC measures");
             let mc = measure(Bench::Mf, RunVariant::MultiCoreSync, &config, &params)
                 .expect("MC measures");
             (sc.power_uw(), mc.power_uw())

@@ -87,5 +87,10 @@ fn crossbar_arbitration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, sim_throughput, synchronizer_commit, crossbar_arbitration);
+criterion_group!(
+    benches,
+    sim_throughput,
+    synchronizer_commit,
+    crossbar_arbitration
+);
 criterion_main!(benches);

@@ -18,7 +18,10 @@ fn encode_decode(c: &mut Criterion) {
         },
         Instr::Jmp { off: 1000 },
     ];
-    let words: Vec<u32> = instrs.iter().map(|i| i.encode().expect("encodes")).collect();
+    let words: Vec<u32> = instrs
+        .iter()
+        .map(|i| i.encode().expect("encodes"))
+        .collect();
     let mut group = c.benchmark_group("isa");
     group.throughput(Throughput::Elements(instrs.len() as u64));
     group.bench_function("encode", |b| {
@@ -60,11 +63,7 @@ fn assembler_and_linker(c: &mut Criterion) {
         b.iter(|| {
             let mut linker = Linker::new();
             for bank in 0..8 {
-                linker.add_section(Section::in_bank(
-                    format!("s{bank}"),
-                    program.clone(),
-                    bank,
-                ));
+                linker.add_section(Section::in_bank(format!("s{bank}"), program.clone(), bank));
                 linker.set_entry(bank, format!("s{bank}"));
             }
             linker.link().expect("links")

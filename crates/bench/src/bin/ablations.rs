@@ -30,10 +30,9 @@ fn main() {
     let params = ClassifierParams::default_trained();
     eprintln!("# Ablations on 3L-MF (the broadcast-heaviest benchmark), {duration_s} s simulated");
 
-    let sc = measure(BenchmarkId::Mf, RunVariant::SingleCore, &base, &params)
-        .expect("SC baseline");
-    let full = measure(BenchmarkId::Mf, RunVariant::MultiCoreSync, &base, &params)
-        .expect("full approach");
+    let sc = measure(BenchmarkId::Mf, RunVariant::SingleCore, &base, &params).expect("SC baseline");
+    let full =
+        measure(BenchmarkId::Mf, RunVariant::MultiCoreSync, &base, &params).expect("full approach");
     let no_broadcast = measure(
         BenchmarkId::Mf,
         RunVariant::MultiCoreSync,
@@ -72,8 +71,13 @@ fn main() {
         sc.clock_hz,
     )
     .expect("VFS ablation");
-    let busy = measure(BenchmarkId::Mf, RunVariant::MultiCoreBusyWait, &base, &params)
-        .expect("busy wait");
+    let busy = measure(
+        BenchmarkId::Mf,
+        RunVariant::MultiCoreBusyWait,
+        &base,
+        &params,
+    )
+    .expect("busy wait");
 
     println!(
         "{:<26} {:>9} {:>7} {:>11} {:>11} {:>12}",

@@ -24,7 +24,11 @@ fn main() {
     eprintln!(
         "# Fig. 7 reproduction — RP-CLASS, {} s simulated{}",
         duration_s,
-        if no_vfs { ", VFS DISABLED (ablation)" } else { "" }
+        if no_vfs {
+            ", VFS DISABLED (ablation)"
+        } else {
+            ""
+        }
     );
 
     println!(
@@ -37,8 +41,13 @@ fn main() {
             pathological_fraction: fraction,
             ..ExperimentConfig::default()
         };
-        let sc = measure(BenchmarkId::RpClass, RunVariant::SingleCore, &config, &params)
-            .unwrap_or_else(|e| panic!("SC at {fraction} failed: {e}"));
+        let sc = measure(
+            BenchmarkId::RpClass,
+            RunVariant::SingleCore,
+            &config,
+            &params,
+        )
+        .unwrap_or_else(|e| panic!("SC at {fraction} failed: {e}"));
         let mc = if no_vfs {
             measure_at_clock(
                 BenchmarkId::RpClass,
@@ -49,8 +58,13 @@ fn main() {
             )
             .unwrap_or_else(|e| panic!("MC (no VFS) at {fraction} failed: {e}"))
         } else {
-            measure(BenchmarkId::RpClass, RunVariant::MultiCoreSync, &config, &params)
-                .unwrap_or_else(|e| panic!("MC at {fraction} failed: {e}"))
+            measure(
+                BenchmarkId::RpClass,
+                RunVariant::MultiCoreSync,
+                &config,
+                &params,
+            )
+            .unwrap_or_else(|e| panic!("MC at {fraction} failed: {e}"))
         };
         let reduction = 100.0 * (1.0 - mc.power_uw() / sc.power_uw());
         println!(

@@ -27,12 +27,15 @@ fn main() {
         config.duration_s
     );
 
-    let sc = measure(BenchmarkId::Mf, RunVariant::SingleCore, &config, &params)
-        .expect("SC measures");
-    let mc = measure(BenchmarkId::Mf, RunVariant::MultiCoreSync, &config, &params)
-        .expect("MC measures");
+    let sc =
+        measure(BenchmarkId::Mf, RunVariant::SingleCore, &config, &params).expect("SC measures");
+    let mc =
+        measure(BenchmarkId::Mf, RunVariant::MultiCoreSync, &config, &params).expect("MC measures");
     let nominal = 100.0 * (1.0 - mc.power_uw() / sc.power_uw());
-    println!("{:<26} {:>10} {:>10} {:>10}", "perturbed constant", "-50%", "nominal", "+50%");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}",
+        "perturbed constant", "-50%", "nominal", "+50%"
+    );
 
     type FieldMut = fn(&mut EnergyTable) -> &mut f64;
     let fields: [(&str, FieldMut); 8] = [
@@ -63,8 +66,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "the multi-core saving stays positive across every perturbation — the"
-    );
+    println!("the multi-core saving stays positive across every perturbation — the");
     println!("conclusion does not hinge on any single characterization constant.");
 }

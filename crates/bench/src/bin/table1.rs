@@ -47,13 +47,19 @@ fn main() {
             .iter()
             .flat_map(|(_, sc, mc)| [f(sc, false), f(mc, true)])
             .collect();
-        println!("{label:<22} {}", cells.iter().map(|c| format!("{c:>12}")).collect::<String>());
+        println!(
+            "{label:<22} {}",
+            cells.iter().map(|c| format!("{c:>12}")).collect::<String>()
+        );
     };
 
     println!(
         "{:<22} {}",
         "",
-        header.iter().map(|c| format!("{c:>12}")).collect::<String>()
+        header
+            .iter()
+            .map(|c| format!("{c:>12}"))
+            .collect::<String>()
     );
     row("Active Cores", &|m, _| m.active_cores.to_string());
     row("Active IM banks", &|m, _| m.active_im_banks.to_string());
@@ -72,7 +78,9 @@ fn main() {
             dash.clone()
         }
     });
-    row("Min. Clock (MHz)", &|m, _| format!("{:.1}", m.clock_hz / 1e6));
+    row("Min. Clock (MHz)", &|m, _| {
+        format!("{:.1}", m.clock_hz / 1e6)
+    });
     row("Min. Voltage (V)", &|m, _| format!("{:.1}", m.voltage));
     row("Code Overhead (%)", &|m, is_mc| {
         if is_mc {

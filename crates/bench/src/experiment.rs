@@ -19,13 +19,10 @@ use std::fmt;
 
 use wbsn_dsp::ecg::{synthesize, EcgConfig, EcgRecording};
 use wbsn_kernels::{
-    build_mf, build_mmd, build_rpclass, Arch, BuildError, BuildOptions, BuiltApp,
-    ClassifierParams, SyncApproach,
+    build_mf, build_mmd, build_rpclass, Arch, BuildError, BuildOptions, BuiltApp, ClassifierParams,
+    SyncApproach,
 };
-use wbsn_power::{
-    Activity, Interconnect, OperatingPoint, PowerBreakdown, PowerModel,
-    VfsTable,
-};
+use wbsn_power::{Activity, Interconnect, OperatingPoint, PowerBreakdown, PowerModel, VfsTable};
 use wbsn_sim::{Platform, SimError, SimStats};
 
 /// Which benchmark to run.
@@ -287,11 +284,7 @@ fn build(
     }
 }
 
-fn run_window(
-    app: &BuiltApp,
-    leads: Vec<Vec<i16>>,
-    period: u64,
-) -> Result<Platform, SimError> {
+fn run_window(app: &BuiltApp, leads: Vec<Vec<i16>>, period: u64) -> Result<Platform, SimError> {
     let samples = leads[0].len() as u64;
     let total = app.config.adc.start_cycle + samples * period;
     let mut platform = app.platform(leads)?;
@@ -411,9 +404,7 @@ pub fn measure(
             platform_config: app.config.clone(),
         });
     }
-    Err(MeasureError::Overruns {
-        overruns: u64::MAX,
-    })
+    Err(MeasureError::Overruns { overruns: u64::MAX })
 }
 
 /// Measures a multi-core configuration pinned to a given clock (the
@@ -431,11 +422,11 @@ pub fn measure_at_clock(
 ) -> Result<Measurement, MeasureError> {
     let vfs = VfsTable::ninety_nm_low_leakage();
     let model = PowerModel::default();
-    let op = vfs
-        .min_point_for(clock_hz, variant.interconnect())
-        .ok_or(MeasureError::Infeasible {
-            required_hz: clock_hz,
-        })?;
+    let op =
+        vfs.min_point_for(clock_hz, variant.interconnect())
+            .ok_or(MeasureError::Infeasible {
+                required_hz: clock_hz,
+            })?;
     let period = (clock_hz / config.fs as f64).round() as u64;
     let options = BuildOptions {
         approach: variant.approach(),

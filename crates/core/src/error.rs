@@ -168,7 +168,10 @@ mod tests {
     fn displays_are_nonempty() {
         let errors: Vec<Box<dyn Error>> = vec![
             Box::new(SyncError::CounterOverflow),
-            Box::new(SyncError::PointOutOfRange { point: 9, points: 4 }),
+            Box::new(SyncError::PointOutOfRange {
+                point: 9,
+                points: 4,
+            }),
             Box::new(TaskGraphError::Cyclic),
             Box::new(MappingError::NotEnoughCores {
                 needed: 9,

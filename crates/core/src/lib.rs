@@ -53,7 +53,7 @@ pub mod synchronizer;
 pub mod task_graph;
 
 pub use error::{MappingError, SyncError, TaskGraphError};
-pub use mapping::{MappingPlan, Mapper, PhasePlacement};
+pub use mapping::{Mapper, MappingPlan, PhasePlacement};
 pub use sync_point::{CoreId, CoreSet, SyncPointValue, MAX_CORES};
 pub use synchronizer::{SyncOutcome, SyncStats, Synchronizer};
 pub use task_graph::{Phase, PhaseId, PhaseRole, TaskGraph};

@@ -16,6 +16,8 @@
 //!    fetches broadcast, and collects the interrupt subscriptions of the
 //!    acquisition phases.
 
+pub mod verify;
+
 use std::collections::BTreeMap;
 use std::fmt;
 

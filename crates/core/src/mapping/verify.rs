@@ -1,0 +1,416 @@
+//! Whole-image verification of the synchronization protocol.
+//!
+//! [`wbsn_isa::syncflow`] checks one program in isolation; this module
+//! lifts that analysis to a linked multi-core image plus its
+//! [`MappingPlan`], so the diagnostics carry section names, executing
+//! cores and absolute addresses, and so the plan-level insertion rules
+//! of §III-B can be checked too:
+//!
+//! * every consumer phase must open with an `SNOP` on its consume
+//!   point (the flag registration that makes the synchronizer wake it),
+//! * every producer phase must signal the consumer's point with an
+//!   `SINC` (or an `SDEC` when the point is a preloaded auto-reload
+//!   barrier),
+//! * every point the plan allocates must fit the platform's
+//!   synchronization-point file.
+//!
+//! The presence checks only make sense for the hardware-synchronized
+//! build flavour: busy-wait variants carry the same plan but signal
+//! through shared memory, so callers gate them with
+//! [`VerifyConfig::require_signaling`]. The per-program flow checks
+//! (balanced branches, counter range) run unconditionally — a program
+//! with no sync instructions passes them trivially.
+
+use std::fmt;
+
+use wbsn_isa::link::{LinkedImage, PlacedSection};
+use wbsn_isa::syncflow::{self, SyncFlowConfig, SyncFlowDiag};
+use wbsn_isa::{DecodeError, Instr, SyncKind};
+
+use crate::mapping::MappingPlan;
+use crate::task_graph::TaskGraph;
+use crate::PhaseId;
+
+/// Configuration shared by [`verify_image`] and [`verify_plan`].
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Size of the platform's synchronization-point file.
+    pub sync_points: u16,
+    /// Load-time preloads: `(point, initial counter)`.
+    pub preloads: Vec<(u16, u8)>,
+    /// Points configured as auto-reload barriers (building directives):
+    /// cores only `SDEC` them, the hardware refills the counter.
+    pub auto_reload: Vec<u16>,
+    /// Whether consumer-`SNOP` / producer-`SINC` presence is required.
+    /// True for the paper's hardware-synchronized builds; false for
+    /// busy-wait baselines, which share the plan but never emit sync
+    /// instructions.
+    pub require_signaling: bool,
+}
+
+impl VerifyConfig {
+    /// Hardware-synchronized build against a `sync_points`-entry file.
+    pub fn new(sync_points: u16) -> VerifyConfig {
+        VerifyConfig {
+            sync_points,
+            preloads: Vec::new(),
+            auto_reload: Vec::new(),
+            require_signaling: true,
+        }
+    }
+
+    fn flow_config(&self) -> SyncFlowConfig {
+        SyncFlowConfig {
+            sync_points: Some(self.sync_points),
+            preloads: self.preloads.clone(),
+            auto_reload: self.auto_reload.clone(),
+        }
+    }
+}
+
+impl Default for VerifyConfig {
+    fn default() -> VerifyConfig {
+        VerifyConfig::new(16)
+    }
+}
+
+/// One finding of the image/plan verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyDiag {
+    /// A per-program flow violation, located in the linked image.
+    Flow {
+        /// Section the offending instruction belongs to.
+        section: String,
+        /// Cores whose entry point lies in that section.
+        cores: Vec<usize>,
+        /// Absolute instruction-memory address of the finding.
+        addr: u32,
+        /// The underlying flow diagnostic (program-relative `pc`).
+        diag: SyncFlowDiag,
+    },
+    /// A consumer phase never registers on its consume point: the
+    /// synchronizer would have no flag to wake and the produced data
+    /// would be lost.
+    MissingConsumerSnop {
+        /// Name of the consumer phase.
+        consumer: String,
+        /// The consume point the plan assigned it.
+        point: u16,
+    },
+    /// A producer phase never signals its consumer's point: the
+    /// consumer would sleep forever.
+    MissingProducerSignal {
+        /// Name of the producer phase.
+        producer: String,
+        /// Name of the consumer phase it feeds.
+        consumer: String,
+        /// The consume point that is never signalled.
+        point: u16,
+    },
+    /// The plan allocated a point beyond the platform's file.
+    PointOutOfRange {
+        /// Phase the point was allocated for.
+        phase: String,
+        /// The out-of-range point.
+        point: u16,
+    },
+}
+
+impl fmt::Display for VerifyDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyDiag::Flow {
+                section,
+                cores,
+                addr,
+                diag,
+            } => write!(
+                f,
+                "section `{section}` (cores {cores:?}) at 0x{addr:04X}: {diag}"
+            ),
+            VerifyDiag::MissingConsumerSnop { consumer, point } => write!(
+                f,
+                "consumer phase `{consumer}` never executes SNOP on its \
+                 consume point {point}; the synchronizer cannot wake it"
+            ),
+            VerifyDiag::MissingProducerSignal {
+                producer,
+                consumer,
+                point,
+            } => write!(
+                f,
+                "producer phase `{producer}` never signals point {point} \
+                 consumed by `{consumer}`; the consumer would sleep forever"
+            ),
+            VerifyDiag::PointOutOfRange { phase, point } => write!(
+                f,
+                "plan allocates point {point} for phase `{phase}` beyond \
+                 the platform's synchronization-point file"
+            ),
+        }
+    }
+}
+
+/// Runs the per-program flow analysis over every placed section of a
+/// linked image, locating findings by section, core and absolute
+/// address.
+pub fn verify_image(
+    image: &LinkedImage,
+    config: &VerifyConfig,
+) -> Result<Vec<VerifyDiag>, DecodeError> {
+    let flow_config = config.flow_config();
+    let mut out = Vec::new();
+    for section in image.sections() {
+        let program = image.section_program(section)?;
+        let cores = image.cores_entering(section);
+        for diag in syncflow::analyze(&program, &flow_config) {
+            out.push(VerifyDiag::Flow {
+                section: section.name.clone(),
+                cores: cores.clone(),
+                addr: section.base + diag.pc() as u32,
+                diag,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Section containing the entry point of the core that `phase` is
+/// mapped to.
+fn section_of<'a>(
+    plan: &MappingPlan,
+    image: &'a LinkedImage,
+    phase: PhaseId,
+) -> Option<&'a PlacedSection> {
+    let core = plan.core_of(phase).index();
+    let entry = image.entry(core)?;
+    image
+        .sections()
+        .iter()
+        .find(|s| entry >= s.base && entry < s.base + s.len as u32)
+}
+
+/// True if `section` contains a sync instruction of `kind` on `point`.
+fn contains_sync(
+    image: &LinkedImage,
+    section: &PlacedSection,
+    kind: SyncKind,
+    point: u16,
+) -> Result<bool, DecodeError> {
+    let program = image.section_program(section)?;
+    Ok(program
+        .instrs()
+        .iter()
+        .any(|i| matches!(i, Instr::Sync { kind: k, point: p } if *k == kind && *p == point)))
+}
+
+/// Verifies a linked image against the plan that produced it.
+///
+/// Runs [`verify_image`] on every section, then — when
+/// [`VerifyConfig::require_signaling`] is set — checks the plan-level
+/// insertion rules: consumer phases register with `SNOP`, producer
+/// phases signal with `SINC` (`SDEC` for auto-reload points), and every
+/// allocated point fits the platform's file.
+pub fn verify_plan(
+    graph: &TaskGraph,
+    plan: &MappingPlan,
+    image: &LinkedImage,
+    config: &VerifyConfig,
+) -> Result<Vec<VerifyDiag>, DecodeError> {
+    let mut out = verify_image(image, config)?;
+
+    for placement in plan.placements() {
+        let phase = placement.phase;
+        let name = &graph.phase(phase).name;
+        for point in [plan.consume_point(phase), plan.lockstep_point(phase)]
+            .into_iter()
+            .flatten()
+        {
+            if point >= config.sync_points {
+                out.push(VerifyDiag::PointOutOfRange {
+                    phase: name.clone(),
+                    point,
+                });
+            }
+        }
+    }
+
+    if !config.require_signaling {
+        return Ok(out);
+    }
+
+    for placement in plan.placements() {
+        let consumer = placement.phase;
+        let Some(point) = plan.consume_point(consumer) else {
+            continue;
+        };
+        if point >= config.sync_points {
+            continue; // already reported as out of range
+        }
+        let consumer_name = &graph.phase(consumer).name;
+        if let Some(section) = section_of(plan, image, consumer) {
+            if !contains_sync(image, section, SyncKind::Nop, point)? {
+                out.push(VerifyDiag::MissingConsumerSnop {
+                    consumer: consumer_name.clone(),
+                    point,
+                });
+            }
+        }
+        // Auto-reload points are refilled by hardware, so a producer's
+        // signal is the decrement; otherwise it is the increment.
+        let signal = if config.auto_reload.contains(&point) {
+            SyncKind::Dec
+        } else {
+            SyncKind::Inc
+        };
+        for producer in graph.producers_of(consumer) {
+            let Some(section) = section_of(plan, image, producer) else {
+                continue;
+            };
+            if !contains_sync(image, section, signal, point)? {
+                out.push(VerifyDiag::MissingProducerSignal {
+                    producer: graph.phase(producer).name.clone(),
+                    consumer: consumer_name.clone(),
+                    point,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Mapper;
+    use crate::task_graph::Phase;
+    use wbsn_isa::assemble_text;
+    use wbsn_isa::link::{Linker, Section};
+
+    /// Producer -> consumer graph, mapped, with the given section
+    /// bodies linked at the planned cores.
+    fn fixture(
+        producer_src: &str,
+        consumer_src: &str,
+    ) -> (TaskGraph, MappingPlan, LinkedImage, u16) {
+        let mut graph = TaskGraph::new();
+        let producer = graph
+            .add_phase(Phase::acquire("producer", 0))
+            .expect("phase");
+        let consumer = graph.add_phase(Phase::compute("consumer")).expect("phase");
+        graph.add_edge(producer, consumer).expect("edge");
+        let plan = Mapper::new(4, 4, 16).map(&graph).expect("maps");
+        let point = plan.consume_point(consumer).expect("consume point");
+
+        let producer_src = producer_src.replace("{p}", &point.to_string());
+        let consumer_src = consumer_src.replace("{p}", &point.to_string());
+        let mut linker = Linker::new();
+        linker
+            .add_section(Section::in_bank(
+                "producer",
+                assemble_text(&producer_src).expect("assembles"),
+                plan.bank_of(producer),
+            ))
+            .add_section(Section::in_bank(
+                "consumer",
+                assemble_text(&consumer_src).expect("assembles"),
+                plan.bank_of(consumer),
+            ))
+            .set_entry(plan.core_of(producer).index(), "producer")
+            .set_entry(plan.core_of(consumer).index(), "consumer");
+        let image = linker.link().expect("links");
+        (graph, plan, image, point)
+    }
+
+    #[test]
+    fn well_formed_pair_is_clean() {
+        let (graph, plan, image, _) = fixture(
+            "sinc {p}\nsdec {p}\nsinc {p}\nhalt\n",
+            "snop {p}\nsleep\nhalt\n",
+        );
+        let diags = verify_plan(&graph, &plan, &image, &VerifyConfig::new(16)).expect("decodes");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_consumer_snop_is_flagged() {
+        let (graph, plan, image, point) = fixture("sinc {p}\nhalt\n", "sleep\nhalt\n");
+        let diags = verify_plan(&graph, &plan, &image, &VerifyConfig::new(16)).expect("decodes");
+        assert!(
+            diags.iter().any(|d| matches!(
+                d,
+                VerifyDiag::MissingConsumerSnop { consumer, point: p }
+                    if consumer == "consumer" && *p == point
+            )),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_producer_signal_is_flagged() {
+        let (graph, plan, image, point) = fixture("halt\n", "snop {p}\nsleep\nhalt\n");
+        let diags = verify_plan(&graph, &plan, &image, &VerifyConfig::new(16)).expect("decodes");
+        assert!(
+            diags.iter().any(|d| matches!(
+                d,
+                VerifyDiag::MissingProducerSignal { producer, point: p, .. }
+                    if producer == "producer" && *p == point
+            )),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn busy_wait_plan_skips_presence_checks() {
+        // Same plan, no sync instructions anywhere: a busy-wait build.
+        let (graph, plan, image, _) = fixture("halt\n", "halt\n");
+        let mut config = VerifyConfig::new(16);
+        config.require_signaling = false;
+        let diags = verify_plan(&graph, &plan, &image, &config).expect("decodes");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn flow_diagnostics_carry_absolute_addresses() {
+        // The producer SDECs with no cover: underflow at its pc 1.
+        let (graph, plan, image, point) = fixture(
+            "sinc {p}\nsdec {p}\nsdec {p}\nhalt\n",
+            "snop {p}\nsleep\nhalt\n",
+        );
+        let section = image
+            .sections()
+            .iter()
+            .find(|s| s.name == "producer")
+            .expect("placed")
+            .clone();
+        let diags = verify_plan(&graph, &plan, &image, &VerifyConfig::new(16)).expect("decodes");
+        let flow = diags
+            .iter()
+            .find_map(|d| match d {
+                VerifyDiag::Flow {
+                    section,
+                    addr,
+                    diag,
+                    ..
+                } if section == "producer" => Some((*addr, diag.clone())),
+                _ => None,
+            })
+            .expect("flow diagnostic");
+        assert_eq!(flow.0, section.base + 2);
+        assert!(
+            matches!(flow.1, SyncFlowDiag::CounterUnderflow { pc: 2, point: p, .. } if p == point),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn diagnostics_render_with_section_names() {
+        let (graph, plan, image, _) = fixture("halt\n", "snop {p}\nsleep\nhalt\n");
+        let diags = verify_plan(&graph, &plan, &image, &VerifyConfig::new(16)).expect("decodes");
+        let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+        assert!(
+            rendered.iter().any(|s| s.contains("producer")),
+            "{rendered:?}"
+        );
+    }
+}

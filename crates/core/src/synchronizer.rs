@@ -76,15 +76,24 @@ pub struct SyncStats {
     pub fallthroughs: u64,
     /// Interrupt wake-ups forwarded to cores.
     pub irq_wakes: u64,
+    /// Lost wake-ups: an armed point's counter reached zero with no core
+    /// flagged, so the release event woke nobody (a producer completed
+    /// before any consumer registered).
+    pub lost_wakes: u64,
+    /// Counter-invariant violations detected while applying a merged
+    /// update (underflow/overflow); each also surfaces as a
+    /// [`SyncError`] from [`Synchronizer::commit`].
+    pub invariant_faults: u64,
 }
 
 impl fmt::Display for SyncStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} ops ({} writes, {} merged), {} fires, {} sleeps (+{} fall-throughs), {} irq wakes",
+            "{} ops ({} writes, {} merged), {} fires, {} sleeps (+{} fall-throughs), {} irq wakes, \
+             {} lost wakes, {} invariant faults",
             self.ops, self.writes, self.merged, self.fires, self.sleeps,
-            self.fallthroughs, self.irq_wakes
+            self.fallthroughs, self.irq_wakes, self.lost_wakes, self.invariant_faults
         )
     }
 }
@@ -196,6 +205,22 @@ impl Synchronizer {
             })
     }
 
+    /// Whether a point is armed (a `SINC` touched it since the last
+    /// fire, or it was preloaded). Used by runtime deadlock diagnosis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::PointOutOfRange`] for an unknown point.
+    pub fn point_armed(&self, point: u16) -> Result<bool, SyncError> {
+        self.points
+            .get(point as usize)
+            .map(|s| s.armed)
+            .ok_or(SyncError::PointOutOfRange {
+                point,
+                points: self.points.len(),
+            })
+    }
+
     /// Whether `core` is currently clock-gated.
     pub fn is_gated(&self, core: CoreId) -> bool {
         self.gated.contains(core)
@@ -297,6 +322,7 @@ impl Synchronizer {
         let mut flag_sets = [CoreSet::empty(); 64];
         let mut deltas = [0i32; 64];
         let mut counts = [0u32; 64];
+        let mut incs = [false; 64];
         // Points are few (tens); a linear scratch keyed by first-touch
         // order keeps this allocation-free for the common sizes.
         for (core, kind, point) in &ops {
@@ -307,11 +333,15 @@ impl Synchronizer {
                     touched.len() - 1
                 }
             };
-            assert!(slot < 64, "more than 64 distinct points touched in one cycle");
+            assert!(
+                slot < 64,
+                "more than 64 distinct points touched in one cycle"
+            );
             match kind {
                 SyncKind::Inc => {
                     flag_sets[slot].insert(*core);
                     deltas[slot] += 1;
+                    incs[slot] = true;
                 }
                 SyncKind::Dec => deltas[slot] -= 1,
                 SyncKind::Nop => flag_sets[slot].insert(*core),
@@ -323,13 +353,34 @@ impl Synchronizer {
         let mut woken = CoreSet::empty();
         for (slot, &point) in touched.iter().enumerate() {
             let state = &mut self.points[point as usize];
-            state.value = state.value.apply_merged(flag_sets[slot], deltas[slot])?;
-            if deltas[slot] > 0 {
+            state.value = match state.value.apply_merged(flag_sets[slot], deltas[slot]) {
+                Ok(value) => value,
+                Err(e) => {
+                    self.stats.invariant_faults += 1;
+                    return Err(e);
+                }
+            };
+            // Arm on SINC *presence*, not on positive net delta: a
+            // same-cycle SINC/SDEC pair netting zero still means "a
+            // SINC touched the point since the last fire", and the
+            // merged release must fire exactly like the serial one.
+            if incs[slot] {
                 state.armed = true;
             }
             self.stats.writes += 1;
             self.stats.merged += (counts[slot] - 1) as u64;
             outcome.memory_writes += 1;
+
+            // Lost-wake detection: the counter hit zero on a decrement
+            // while the point is armed but nobody is flagged — the
+            // release happened with no registered consumer to wake.
+            if state.armed
+                && deltas[slot] < 0
+                && state.value.counter() == 0
+                && state.value.flags().is_empty()
+            {
+                self.stats.lost_wakes += 1;
+            }
 
             // 2. Fire evaluation for this point.
             if state.armed && state.value.is_release_ready() {
@@ -380,7 +431,9 @@ impl Synchronizer {
 
     fn check_core(&self, core: CoreId) -> Result<(), SyncError> {
         if core.index() >= self.num_cores {
-            return Err(SyncError::CoreOutOfRange { index: core.index() });
+            return Err(SyncError::CoreOutOfRange {
+                index: core.index(),
+            });
         }
         Ok(())
     }
@@ -612,6 +665,29 @@ mod tests {
     }
 
     #[test]
+    fn merged_update_is_atomic_at_the_synchronizer() {
+        // The synchronizer-level counterpart of
+        // `sync_point::tests::merged_update_is_atomic`: submission order
+        // must not matter, because `apply` accumulates the cycle's net
+        // delta before touching the point. Submit every SDEC *before*
+        // the SINCs on a zero counter — a serial SDEC-first ordering
+        // would underflow, the merged modification must not.
+        let mut s = sync(8, 1);
+        s.submit_op(core(3), SyncKind::Dec, 0).unwrap();
+        s.submit_op(core(4), SyncKind::Dec, 0).unwrap();
+        s.submit_op(core(0), SyncKind::Inc, 0).unwrap();
+        s.submit_op(core(1), SyncKind::Inc, 0).unwrap();
+        let o = s.commit().unwrap();
+        assert_eq!(o.memory_writes, 1, "one consistent modification");
+        assert_eq!(s.stats().invariant_faults, 0, "no transient underflow");
+        // The merged net-zero release fires exactly like the serial
+        // SINC-first ordering would: the SINC arms the point, the zero
+        // counter releases, and the fire clears the word.
+        assert_eq!(o.fired_points, vec![0], "net zero fires the point");
+        assert_eq!(s.point_value(0).unwrap(), SyncPointValue::cleared());
+    }
+
+    #[test]
     fn underflow_is_a_protocol_violation() {
         let mut s = sync(2, 1);
         s.submit_op(core(0), SyncKind::Dec, 0).unwrap();
@@ -640,11 +716,68 @@ mod tests {
             sleeps: 5,
             fallthroughs: 6,
             irq_wakes: 7,
+            lost_wakes: 8,
+            invariant_faults: 9,
         };
         let text = stats.to_string();
-        for needle in ["1 ops", "2 writes", "3 merged", "4 fires", "5 sleeps", "6 fall", "7 irq"] {
+        let needles = [
+            "1 ops",
+            "2 writes",
+            "3 merged",
+            "4 fires",
+            "5 sleeps",
+            "6 fall",
+            "7 irq",
+            "8 lost",
+            "9 invariant",
+        ];
+        for needle in needles {
             assert!(text.contains(needle), "missing {needle} in `{text}`");
         }
+    }
+
+    #[test]
+    fn release_with_no_registered_core_counts_a_lost_wake() {
+        // Preloaded point decremented to zero before anyone registers:
+        // the release event wakes nobody.
+        let mut s = sync(2, 1);
+        s.preload(0, 1, false).unwrap();
+        s.submit_op(core(0), SyncKind::Dec, 0).unwrap();
+        let o = s.commit().unwrap();
+        assert!(o.fired_points.is_empty(), "no flags, nothing to fire");
+        assert_eq!(s.stats().lost_wakes, 1);
+
+        // The ordinary producer/consumer flow never loses wakes.
+        let mut s = sync(2, 1);
+        s.submit_op(core(1), SyncKind::Nop, 0).unwrap();
+        s.submit_op(core(0), SyncKind::Inc, 0).unwrap();
+        s.commit().unwrap();
+        s.submit_op(core(0), SyncKind::Dec, 0).unwrap();
+        let o = s.commit().unwrap();
+        assert_eq!(o.fired_points, vec![0]);
+        assert_eq!(s.stats().lost_wakes, 0);
+    }
+
+    #[test]
+    fn invariant_faults_are_counted() {
+        let mut s = sync(2, 1);
+        assert_eq!(s.stats().invariant_faults, 0);
+        s.submit_op(core(0), SyncKind::Dec, 0).unwrap();
+        assert_eq!(s.commit(), Err(SyncError::CounterUnderflow));
+        assert_eq!(s.stats().invariant_faults, 1);
+    }
+
+    #[test]
+    fn point_armed_tracks_arming_and_fires() {
+        let mut s = sync(2, 1);
+        assert!(!s.point_armed(0).unwrap());
+        s.submit_op(core(0), SyncKind::Inc, 0).unwrap();
+        s.commit().unwrap();
+        assert!(s.point_armed(0).unwrap());
+        s.submit_op(core(0), SyncKind::Dec, 0).unwrap();
+        s.commit().unwrap();
+        assert!(!s.point_armed(0).unwrap(), "disarmed by the fire");
+        assert!(s.point_armed(5).is_err());
     }
 
     #[test]

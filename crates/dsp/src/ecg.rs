@@ -269,9 +269,7 @@ pub fn synthesize(config: &EcgConfig) -> EcgRecording {
     }
 
     // Per-lead projection gains (leads view the same dipole differently).
-    let lead_gains: Vec<f64> = (0..config.leads)
-        .map(|l| 1.0 - 0.18 * l as f64)
-        .collect();
+    let lead_gains: Vec<f64> = (0..config.leads).map(|l| 1.0 - 0.18 * l as f64).collect();
 
     let mut leads = vec![vec![0i16; n]; config.leads];
     let mut truth = Vec::with_capacity(beats.len());

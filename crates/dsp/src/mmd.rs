@@ -239,7 +239,12 @@ mod tests {
         let points = d.delineate(&signal);
         assert_eq!(points.len(), 1, "{points:?}");
         let p = points[0];
-        assert!(p.onset <= p.sample, "onset {} after peak {}", p.onset, p.sample);
+        assert!(
+            p.onset <= p.sample,
+            "onset {} after peak {}",
+            p.onset,
+            p.sample
+        );
         assert!(p.sample - p.onset <= 40, "onset unreasonably early");
     }
 

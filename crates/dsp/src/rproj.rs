@@ -179,11 +179,9 @@ impl NearestCentroid {
     /// value the generated kernel actually holds in its accumulator
     /// register.
     pub fn l1_distance16(p: &[i16], c: &[i16]) -> i16 {
-        p.iter()
-            .zip(c)
-            .fold(0i16, |acc, (&a, &b)| {
-                acc.wrapping_add(exec_abs(a.wrapping_sub(b)))
-            })
+        p.iter().zip(c).fold(0i16, |acc, (&a, &b)| {
+            acc.wrapping_add(exec_abs(a.wrapping_sub(b)))
+        })
     }
 
     /// Labels a projected beat.

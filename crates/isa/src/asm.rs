@@ -340,9 +340,9 @@ fn mem_operand(consts: &HashMap<String, i64>, text: &str) -> Result<(i16, Reg), 
             "expected `offset(reg)` operand, found `{text}`"
         )))
     })?;
-    let close = text.rfind(')').ok_or_else(|| {
-        IsaError::from(ParseAsmError::new(format!("missing `)` in `{text}`")))
-    })?;
+    let close = text
+        .rfind(')')
+        .ok_or_else(|| IsaError::from(ParseAsmError::new(format!("missing `)` in `{text}`"))))?;
     let off_text = text[..open].trim();
     let off = if off_text.is_empty() {
         0
@@ -402,8 +402,20 @@ mod tests {
     #[test]
     fn parses_hex_and_negative_numbers() {
         let p = assemble_text("li r1, 0x7F\nli r2, -0x10\n").unwrap();
-        assert_eq!(p.instrs()[0], Instr::Li { rd: Reg::R1, imm: 0x7F });
-        assert_eq!(p.instrs()[1], Instr::Li { rd: Reg::R2, imm: -16 });
+        assert_eq!(
+            p.instrs()[0],
+            Instr::Li {
+                rd: Reg::R1,
+                imm: 0x7F
+            }
+        );
+        assert_eq!(
+            p.instrs()[1],
+            Instr::Li {
+                rd: Reg::R2,
+                imm: -16
+            }
+        );
     }
 
     #[test]
@@ -418,7 +430,13 @@ mod tests {
             ".equ OUT, 0x200\n.equ COUNT, 3\n.equ PT, 2\nli r1, COUNT\nsw r1, OUT(r0)\nsinc PT\naddi r1, r1, COUNT\nhalt\n",
         )
         .unwrap();
-        assert_eq!(p.instrs()[0], Instr::Li { rd: Reg::R1, imm: 3 });
+        assert_eq!(
+            p.instrs()[0],
+            Instr::Li {
+                rd: Reg::R1,
+                imm: 3
+            }
+        );
         assert_eq!(p.instrs()[1], Instr::sw(Reg::R1, Reg::R0, 0x200));
         assert_eq!(p.instrs()[2], Instr::sinc(2));
     }
@@ -434,7 +452,13 @@ mod tests {
     #[test]
     fn equ_can_reference_earlier_constants() {
         let p = assemble_text(".equ A, 5\n.equ B, A\nli r1, B\nhalt\n").unwrap();
-        assert_eq!(p.instrs()[0], Instr::Li { rd: Reg::R1, imm: 5 });
+        assert_eq!(
+            p.instrs()[0],
+            Instr::Li {
+                rd: Reg::R1,
+                imm: 5
+            }
+        );
     }
 
     #[test]

@@ -154,10 +154,7 @@ impl ProgramBuilder {
     pub fn load_const(&mut self, rd: Reg, value: u16) {
         let as_signed = value as i16;
         if (-16384..=16383).contains(&as_signed) {
-            self.push(Instr::Li {
-                rd,
-                imm: as_signed,
-            });
+            self.push(Instr::Li { rd, imm: as_signed });
         } else {
             self.push(Instr::Lui {
                 rd,
@@ -197,7 +194,12 @@ impl ProgramBuilder {
             };
             let instr = match slot {
                 Slot::Fixed(i) => *i,
-                Slot::Branch { cond, ra, rb, label } => {
+                Slot::Branch {
+                    cond,
+                    ra,
+                    rb,
+                    label,
+                } => {
                     let off = resolve(label)?;
                     let off = i16::try_from(off).map_err(|_| {
                         IsaError::from(ParseAsmError::new(format!(

@@ -88,11 +88,7 @@ impl fmt::Display for DecodeError {
             DecodeReason::UnknownOpcode(op) => {
                 write!(f, "word {:#08x} has unknown opcode {:#04x}", self.word, op)
             }
-            DecodeReason::WideWord => write!(
-                f,
-                "word {:#010x} does not fit in 24 bits",
-                self.word
-            ),
+            DecodeReason::WideWord => write!(f, "word {:#010x} does not fit in 24 bits", self.word),
         }
     }
 }

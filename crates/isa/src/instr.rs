@@ -591,15 +591,24 @@ impl Instr {
                 };
                 op(o) | check_unsigned("point", point as i64, 12)?
             }
-            Instr::Alu { op: alu, rd, ra, rb } => {
+            Instr::Alu {
+                op: alu,
+                rd,
+                ra,
+                rb,
+            } => {
                 let o = OP_ALU_BASE + AluOp::ALL.iter().position(|&x| x == alu).unwrap() as u8;
                 op(o) | rd3(rd) | ra3(ra) | rb3(rb)
             }
             Instr::Mov { rd, ra } => op(OP_MOV) | rd3(rd) | ra3(ra),
             Instr::Abs { rd, ra } => op(OP_ABS) | rd3(rd) | ra3(ra),
-            Instr::AluImm { op: alu, rd, ra, imm } => {
-                let o =
-                    OP_ALUI_BASE + AluImmOp::ALL.iter().position(|&x| x == alu).unwrap() as u8;
+            Instr::AluImm {
+                op: alu,
+                rd,
+                ra,
+                imm,
+            } => {
+                let o = OP_ALUI_BASE + AluImmOp::ALL.iter().position(|&x| x == alu).unwrap() as u8;
                 let field = if alu.is_shift() {
                     check_unsigned("shamt", imm as i64, 4)?
                 } else if alu == AluImmOp::Addi {
@@ -881,7 +890,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Instr::add(Reg::R1, Reg::R2, Reg::R3).to_string(), "add r1, r2, r3");
+        assert_eq!(
+            Instr::add(Reg::R1, Reg::R2, Reg::R3).to_string(),
+            "add r1, r2, r3"
+        );
         assert_eq!(Instr::lw(Reg::R1, Reg::R2, -3).to_string(), "lw r1, -3(r2)");
         assert_eq!(Instr::sinc(7).to_string(), "sinc 7");
         assert_eq!(Instr::Sleep.to_string(), "sleep");

@@ -38,13 +38,14 @@ pub mod lint;
 pub mod mem;
 pub mod program;
 pub mod reg;
+pub mod syncflow;
 
 pub use asm::assemble_text;
 pub use builder::ProgramBuilder;
 pub use error::{DecodeError, EncodeError, IsaError, LinkError, ParseAsmError};
 pub use image::ImageFormatError;
 pub use instr::{AluImmOp, AluOp, BranchCond, Instr, SyncKind, MAX_SYNC_POINT};
-pub use link::{DataSegment, LinkedImage, Linker, Section};
+pub use link::{DataSegment, LinkedImage, Linker, PlacedSection, Section};
 pub use mem::{DM_BANKS, DM_BANK_WORDS, DM_WORDS, IM_BANKS, IM_BANK_WORDS, IM_WORDS};
 pub use program::Program;
 pub use reg::Reg;

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::error::LinkError;
+use crate::error::{DecodeError, LinkError};
 use crate::instr::Instr;
 use crate::mem::{DM_WORDS, IM_BANKS, IM_BANK_WORDS, IM_WORDS};
 use crate::program::Program;
@@ -130,8 +130,7 @@ impl Linker {
         let mut sync_words = 0usize;
 
         // Pinned sections first so auto placement cannot steal their space.
-        let (pinned, auto): (Vec<_>, Vec<_>) =
-            self.sections.iter().partition(|s| s.bank.is_some());
+        let (pinned, auto): (Vec<_>, Vec<_>) = self.sections.iter().partition(|s| s.bank.is_some());
         for section in pinned.into_iter().chain(auto) {
             if placed.contains_key(&section.name) {
                 return Err(LinkError::DuplicateSection(section.name.clone()));
@@ -189,10 +188,12 @@ impl Linker {
 
         let mut entries = BTreeMap::new();
         for (&core, name) in &self.entries {
-            let (base, _) = placed.get(name).ok_or_else(|| LinkError::UnknownEntrySection {
-                core,
-                section: name.clone(),
-            })?;
+            let (base, _) = placed
+                .get(name)
+                .ok_or_else(|| LinkError::UnknownEntrySection {
+                    core,
+                    section: name.clone(),
+                })?;
             entries.insert(core, *base);
         }
 
@@ -325,6 +326,30 @@ impl LinkedImage {
     /// Decodes the instruction at `addr`, if it is a valid encoding.
     pub fn decode_at(&self, addr: u32) -> Option<Instr> {
         Instr::decode(self.instr_word(addr)).ok()
+    }
+
+    /// Reconstructs a placed section as a [`Program`] by decoding its
+    /// instruction words — the image-walking primitive behind the
+    /// static sync-protocol verifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid encoding (which would also fault at
+    /// fetch time on the platform).
+    pub fn section_program(&self, section: &PlacedSection) -> Result<Program, DecodeError> {
+        let instrs = (0..section.len)
+            .map(|offset| Instr::decode(self.instr_word(section.base + offset as u32)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Program::from_instrs(instrs))
+    }
+
+    /// The cores whose entry point starts `section`.
+    pub fn cores_entering(&self, section: &PlacedSection) -> Vec<usize> {
+        self.entries
+            .iter()
+            .filter(|(_, &addr)| addr == section.base)
+            .map(|(&core, _)| core)
+            .collect()
     }
 }
 

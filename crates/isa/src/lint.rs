@@ -52,7 +52,10 @@ impl fmt::Display for LintWarning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LintWarning::ControlOutOfRange { pc, target } => {
-                write!(f, "pc {pc}: control transfer to {target} leaves the program")
+                write!(
+                    f,
+                    "pc {pc}: control transfer to {target} leaves the program"
+                )
             }
             LintWarning::SyncPointOutOfRange { pc, point } => {
                 write!(f, "pc {pc}: synchronization point {point} out of range")
@@ -182,14 +185,15 @@ mod tests {
     use crate::asm::assemble_text;
 
     fn check(src: &str) -> Vec<LintWarning> {
-        lint(&assemble_text(src).expect("assembles"), &LintConfig::default())
+        lint(
+            &assemble_text(src).expect("assembles"),
+            &LintConfig::default(),
+        )
     }
 
     #[test]
     fn clean_program_has_no_warnings() {
-        let w = check(
-            "li r1, 3\nloop: addi r1, r1, -1\nbne r1, r0, loop\nsinc 0\nsdec 0\nhalt\n",
-        );
+        let w = check("li r1, 3\nloop: addi r1, r1, -1\nbne r1, r0, loop\nsinc 0\nsdec 0\nhalt\n");
         // r0 is read before write (the zero-register convention), which
         // the heuristic intentionally reports for hand-written sources
         // that forgot the prologue.

@@ -110,9 +110,7 @@ impl FromStr for Reg {
         let rest = lower
             .strip_prefix('r')
             .ok_or_else(|| ParseAsmError::bad_register(s))?;
-        let index: usize = rest
-            .parse()
-            .map_err(|_| ParseAsmError::bad_register(s))?;
+        let index: usize = rest.parse().map_err(|_| ParseAsmError::bad_register(s))?;
         Reg::from_index(index).ok_or_else(|| ParseAsmError::bad_register(s))
     }
 }

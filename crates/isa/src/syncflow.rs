@@ -1,0 +1,531 @@
+//! Path-sensitive verification of the synchronization-instruction
+//! protocol inside one program.
+//!
+//! The paper's insertion rules (§III-B) make the sync-point counter a
+//! per-core balance: a core retracts with `SDEC` exactly what it
+//! announced with `SINC`, on every control-flow path — that is what
+//! keeps Fig. 3-b's data-dependent branches recoverable in lock-step
+//! and what keeps producer/consumer points from deadlocking or firing
+//! early. This module checks that balance statically: it builds the
+//! control-flow graph of a [`Program`] and runs an interval analysis of
+//! the net `SINC`/`SDEC` delta per synchronization point, reporting
+//!
+//! * joins whose incoming arms carry different deltas (an unbalanced
+//!   `SINC`/`SDEC` pair on a data-dependent branch),
+//! * paths on which the counter could drop below zero (`SDEC` without a
+//!   covering `SINC`/preload — the runtime would fault or deadlock),
+//! * paths or loops on which the counter could grow past the 8-bit
+//!   hardware field (a missing `SDEC` inside a loop),
+//! * references to synchronization points outside the configured
+//!   range.
+//!
+//! Unlike [`crate::lint`]'s warnings, these diagnostics are protocol
+//! violations: `wbsn-asm --lint` rejects programs that produce them.
+//!
+//! # Scope
+//!
+//! The analysis is per-core: it assumes a core only retracts its own
+//! contribution, which is how the paper's insertion step and this
+//! repository's generators emit code. Preloaded auto-reload barrier
+//! points (building directives) are the exception — cores `SDEC` a
+//! counter the hardware refills — so such points are declared in the
+//! [`SyncFlowConfig`] and exempted from the counter-range checks.
+//! Paths through `jr` (computed jumps) end the walk conservatively.
+
+use std::fmt;
+
+use crate::instr::{Instr, SyncKind};
+use crate::program::Program;
+
+/// Counter excursions are clamped to this magnitude so that loop
+/// widening terminates; anything beyond the 8-bit hardware field is
+/// already a violation.
+const CLAMP: i32 = 512;
+
+/// Hardware counter capacity (8-bit up/down counter).
+const COUNTER_MAX: i32 = 255;
+
+/// Configuration of the sync-flow analysis.
+#[derive(Debug, Clone, Default)]
+pub struct SyncFlowConfig {
+    /// Number of synchronization points the platform is configured
+    /// with; `None` skips the range check (checked at link time
+    /// instead).
+    pub sync_points: Option<u16>,
+    /// Load-time preloads: `(point, initial counter)`.
+    pub preloads: Vec<(u16, u8)>,
+    /// Points configured as auto-reload barriers: the hardware refills
+    /// the counter after each fire, so the per-core balance and range
+    /// checks do not apply to them.
+    pub auto_reload: Vec<u16>,
+}
+
+impl SyncFlowConfig {
+    /// The platform default: 16 points, nothing preloaded.
+    pub fn with_sync_points(points: u16) -> SyncFlowConfig {
+        SyncFlowConfig {
+            sync_points: Some(points),
+            ..SyncFlowConfig::default()
+        }
+    }
+
+    fn preload_of(&self, point: u16) -> i32 {
+        self.preloads
+            .iter()
+            .find(|(p, _)| *p == point)
+            .map_or(0, |(_, v)| *v as i32)
+    }
+
+    fn is_auto_reload(&self, point: u16) -> bool {
+        self.auto_reload.contains(&point)
+    }
+}
+
+/// A protocol violation found by [`analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncFlowDiag {
+    /// A synchronization instruction references a point beyond the
+    /// configured count.
+    UnallocatedPoint {
+        /// Program-relative address of the instruction.
+        pc: usize,
+        /// The out-of-range point literal.
+        point: u16,
+    },
+    /// Control-flow arms joining at `pc` carry different net
+    /// `SINC`/`SDEC` deltas for `point`: a data-dependent branch with
+    /// an unbalanced pair (the paper's lock-step recovery rule).
+    UnbalancedBranch {
+        /// Program-relative address of the join.
+        pc: usize,
+        /// The affected point.
+        point: u16,
+        /// Smallest incoming net delta.
+        min_delta: i32,
+        /// Largest incoming net delta.
+        max_delta: i32,
+    },
+    /// Some path reaches this `SDEC` with no covering `SINC` or
+    /// preload: the counter would underflow (or consume another core's
+    /// contribution and deadlock it).
+    CounterUnderflow {
+        /// Program-relative address of the `SDEC`.
+        pc: usize,
+        /// The affected point.
+        point: u16,
+        /// The most negative counter value reachable here.
+        min_value: i32,
+    },
+    /// Some path (typically a loop with a missing `SDEC`) drives the
+    /// counter past the 8-bit hardware field at this `SINC`.
+    CounterOverflow {
+        /// Program-relative address of the `SINC`.
+        pc: usize,
+        /// The affected point.
+        point: u16,
+        /// The largest counter value reachable here (clamped).
+        max_value: i32,
+    },
+}
+
+impl SyncFlowDiag {
+    /// Program-relative address of the finding.
+    pub fn pc(&self) -> usize {
+        match self {
+            SyncFlowDiag::UnallocatedPoint { pc, .. }
+            | SyncFlowDiag::UnbalancedBranch { pc, .. }
+            | SyncFlowDiag::CounterUnderflow { pc, .. }
+            | SyncFlowDiag::CounterOverflow { pc, .. } => *pc,
+        }
+    }
+
+    /// The synchronization point the finding concerns.
+    pub fn point(&self) -> u16 {
+        match self {
+            SyncFlowDiag::UnallocatedPoint { point, .. }
+            | SyncFlowDiag::UnbalancedBranch { point, .. }
+            | SyncFlowDiag::CounterUnderflow { point, .. }
+            | SyncFlowDiag::CounterOverflow { point, .. } => *point,
+        }
+    }
+}
+
+impl fmt::Display for SyncFlowDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncFlowDiag::UnallocatedPoint { pc, point } => {
+                write!(f, "pc {pc}: sync point {point} is not allocated")
+            }
+            SyncFlowDiag::UnbalancedBranch {
+                pc,
+                point,
+                min_delta,
+                max_delta,
+            } => write!(
+                f,
+                "pc {pc}: branch arms join with unbalanced SINC/SDEC on point \
+                 {point} (net delta {min_delta}..{max_delta})"
+            ),
+            SyncFlowDiag::CounterUnderflow {
+                pc,
+                point,
+                min_value,
+            } => write!(
+                f,
+                "pc {pc}: SDEC on point {point} can underflow (counter could \
+                 be {min_value}); no covering SINC or preload on some path"
+            ),
+            SyncFlowDiag::CounterOverflow {
+                pc,
+                point,
+                max_value,
+            } => write!(
+                f,
+                "pc {pc}: SINC on point {point} can overflow the 8-bit \
+                 counter (reaches {max_value}); missing SDEC on some path"
+            ),
+        }
+    }
+}
+
+/// Net-delta interval per tracked point; `None` = unreachable.
+type State = Option<Vec<(i32, i32)>>;
+
+fn successors(pc: usize, instr: &Instr, len: usize) -> Vec<usize> {
+    let mut out = Vec::with_capacity(2);
+    let mut push = |target: i64| {
+        if target >= 0 && (target as usize) < len {
+            out.push(target as usize);
+        }
+    };
+    match *instr {
+        Instr::Halt | Instr::Jr { .. } => {}
+        Instr::Jmp { off } => push(pc as i64 + 1 + off as i64),
+        Instr::Jal { off, .. } => push(pc as i64 + 1 + off as i64),
+        Instr::Branch { off, .. } => {
+            push(pc as i64 + 1);
+            push(pc as i64 + 1 + off as i64);
+        }
+        _ => push(pc as i64 + 1),
+    }
+    out
+}
+
+/// Runs the sync-flow analysis over one program.
+///
+/// Returns the violations sorted by program address; an empty vector
+/// means every path satisfies the insertion rules this pass models.
+///
+/// # Example
+///
+/// ```
+/// use wbsn_isa::{assemble_text, syncflow};
+///
+/// // SINC on one branch arm only: flagged at the join.
+/// let p = assemble_text(
+///     "beq r1, r0, skip\nsinc 0\nskip: sdec 0\nhalt\n",
+/// )?;
+/// let diags = syncflow::analyze(&p, &syncflow::SyncFlowConfig::default());
+/// assert!(!diags.is_empty());
+/// # Ok::<(), wbsn_isa::IsaError>(())
+/// ```
+pub fn analyze(program: &Program, config: &SyncFlowConfig) -> Vec<SyncFlowDiag> {
+    let instrs = program.instrs();
+    let len = instrs.len();
+    let mut diags = Vec::new();
+
+    // Tracked points: every point the program references, in order.
+    let mut points: Vec<u16> = instrs
+        .iter()
+        .filter_map(|i| match i {
+            Instr::Sync { point, .. } => Some(*point),
+            _ => None,
+        })
+        .collect();
+    points.sort_unstable();
+    points.dedup();
+
+    if let Some(limit) = config.sync_points {
+        for (pc, instr) in instrs.iter().enumerate() {
+            if let Instr::Sync { point, .. } = instr {
+                if *point >= limit {
+                    diags.push(SyncFlowDiag::UnallocatedPoint { pc, point: *point });
+                }
+            }
+        }
+    }
+
+    if points.is_empty() || len == 0 {
+        diags.sort_by_key(SyncFlowDiag::pc);
+        return diags;
+    }
+    let index_of = |point: u16| points.binary_search(&point).expect("tracked point");
+
+    // Fixpoint: in-state per pc, entry starts balanced at zero.
+    let mut states: Vec<State> = vec![None; len];
+    states[0] = Some(vec![(0, 0); points.len()]);
+    let mut worklist: Vec<usize> = vec![0];
+    while let Some(pc) = worklist.pop() {
+        let Some(in_state) = states[pc].clone() else {
+            continue;
+        };
+        // Transfer.
+        let mut out = in_state;
+        if let Instr::Sync { kind, point } = &instrs[pc] {
+            if !config.is_auto_reload(*point) {
+                let delta = match kind {
+                    SyncKind::Inc => 1,
+                    SyncKind::Dec => -1,
+                    SyncKind::Nop => 0,
+                };
+                if delta != 0 {
+                    let (lo, hi) = out[index_of(*point)];
+                    out[index_of(*point)] = (
+                        (lo + delta).clamp(-CLAMP, CLAMP),
+                        (hi + delta).clamp(-CLAMP, CLAMP),
+                    );
+                }
+            }
+        }
+        // Propagate with interval join.
+        for succ in successors(pc, &instrs[pc], len) {
+            let changed = match &mut states[succ] {
+                None => {
+                    states[succ] = Some(out.clone());
+                    true
+                }
+                Some(existing) => {
+                    let mut changed = false;
+                    for (slot, &(lo, hi)) in existing.iter_mut().zip(out.iter()) {
+                        let merged = (slot.0.min(lo), slot.1.max(hi));
+                        if merged != *slot {
+                            *slot = merged;
+                            changed = true;
+                        }
+                    }
+                    changed
+                }
+            };
+            if changed {
+                worklist.push(succ);
+            }
+        }
+    }
+
+    // Reporting pass over the converged states.
+    let mut join_preds: Vec<Vec<usize>> = vec![Vec::new(); len];
+    for (pc, instr) in instrs.iter().enumerate() {
+        for succ in successors(pc, instr, len) {
+            join_preds[succ].push(pc);
+        }
+    }
+    for (pc, instr) in instrs.iter().enumerate() {
+        let Some(in_state) = &states[pc] else {
+            continue;
+        };
+        if let Instr::Sync { kind, point } = instr {
+            if config.is_auto_reload(*point) {
+                continue;
+            }
+            let (lo, hi) = in_state[index_of(*point)];
+            let preload = config.preload_of(*point);
+            match kind {
+                SyncKind::Dec if preload + lo - 1 < 0 => {
+                    diags.push(SyncFlowDiag::CounterUnderflow {
+                        pc,
+                        point: *point,
+                        min_value: preload + lo - 1,
+                    });
+                }
+                SyncKind::Inc if preload + hi + 1 > COUNTER_MAX => {
+                    diags.push(SyncFlowDiag::CounterOverflow {
+                        pc,
+                        point: *point,
+                        max_value: preload + hi + 1,
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    // Unbalanced joins: a pc whose reachable predecessors disagree on
+    // the net delta of some point. Reported at the earliest such join
+    // only, so one misplaced SINC yields one finding, not a cascade.
+    let out_state = |pred: usize| -> Option<Vec<(i32, i32)>> {
+        let mut s = states[pred].clone()?;
+        if let Instr::Sync { kind, point } = &instrs[pred] {
+            if !config.is_auto_reload(*point) {
+                let delta = match kind {
+                    SyncKind::Inc => 1,
+                    SyncKind::Dec => -1,
+                    SyncKind::Nop => 0,
+                };
+                let (lo, hi) = s[index_of(*point)];
+                s[index_of(*point)] = (
+                    (lo + delta).clamp(-CLAMP, CLAMP),
+                    (hi + delta).clamp(-CLAMP, CLAMP),
+                );
+            }
+        }
+        Some(s)
+    };
+    let mut flagged: Vec<bool> = vec![false; points.len()];
+    for (pc, joins) in join_preds.iter().enumerate().take(len) {
+        let preds: Vec<Vec<(i32, i32)>> = joins.iter().filter_map(|&p| out_state(p)).collect();
+        if preds.len() < 2 {
+            continue;
+        }
+        for (idx, &point) in points.iter().enumerate() {
+            if flagged[idx] || config.is_auto_reload(point) {
+                continue;
+            }
+            let lo = preds.iter().map(|s| s[idx].0).min().expect("non-empty");
+            let hi = preds.iter().map(|s| s[idx].1).max().expect("non-empty");
+            let disagree = preds.windows(2).any(|w| w[0][idx] != w[1][idx]);
+            if disagree {
+                flagged[idx] = true;
+                diags.push(SyncFlowDiag::UnbalancedBranch {
+                    pc,
+                    point,
+                    min_delta: lo,
+                    max_delta: hi,
+                });
+            }
+        }
+    }
+
+    diags.sort_by_key(SyncFlowDiag::pc);
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble_text;
+
+    fn check(src: &str) -> Vec<SyncFlowDiag> {
+        analyze(
+            &assemble_text(src).expect("assembles"),
+            &SyncFlowConfig::default(),
+        )
+    }
+
+    #[test]
+    fn balanced_producer_loop_is_clean() {
+        let diags = check(
+            "top: sinc 0\n\
+             addi r1, r1, -1\n\
+             sdec 0\n\
+             bne r1, r0, top\n\
+             halt\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn balanced_branch_arms_are_clean() {
+        // Both arms carry a SINC/SDEC pair: deltas agree at the join.
+        let diags = check(
+            "bne r1, r0, other\n\
+             sinc 0\n\
+             sdec 0\n\
+             jmp join\n\
+             other: sinc 0\n\
+             sdec 0\n\
+             join: halt\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn sinc_on_one_arm_is_unbalanced() {
+        let diags = check(
+            "beq r1, r0, skip\n\
+             sinc 0\n\
+             skip: sleep\n\
+             halt\n",
+        );
+        assert!(
+            diags.iter().any(|d| matches!(
+                d,
+                SyncFlowDiag::UnbalancedBranch {
+                    pc: 2,
+                    point: 0,
+                    ..
+                }
+            )),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn sdec_without_sinc_underflows() {
+        let diags = check("sdec 3\nhalt\n");
+        assert_eq!(
+            diags,
+            vec![SyncFlowDiag::CounterUnderflow {
+                pc: 0,
+                point: 3,
+                min_value: -1
+            }]
+        );
+    }
+
+    #[test]
+    fn preload_covers_the_sdec() {
+        let program = assemble_text("sdec 3\nsleep\nhalt\n").expect("assembles");
+        let config = SyncFlowConfig {
+            preloads: vec![(3, 1)],
+            ..SyncFlowConfig::default()
+        };
+        assert!(analyze(&program, &config).is_empty());
+    }
+
+    #[test]
+    fn auto_reload_points_skip_range_checks() {
+        let program = assemble_text("top: sdec 3\nsleep\njmp top\n").expect("assembles");
+        let config = SyncFlowConfig {
+            auto_reload: vec![3],
+            ..SyncFlowConfig::default()
+        };
+        assert!(analyze(&program, &config).is_empty());
+    }
+
+    #[test]
+    fn loop_without_sdec_overflows() {
+        let diags = check("top: sinc 0\nbne r1, r0, top\nsdec 0\nhalt\n");
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d, SyncFlowDiag::CounterOverflow { point: 0, .. })),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unallocated_point_is_flagged() {
+        let program = assemble_text("sinc 12\nsdec 12\nhalt\n").expect("assembles");
+        let config = SyncFlowConfig::with_sync_points(8);
+        let diags = analyze(&program, &config);
+        assert!(
+            diags
+                .iter()
+                .any(|d| matches!(d, SyncFlowDiag::UnallocatedPoint { pc: 0, point: 12 })),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn diagnostics_render_with_locations() {
+        let diags = check("sdec 1\nhalt\n");
+        assert!(diags[0].to_string().contains("pc 0"));
+        assert!(diags[0].to_string().contains("point 1"));
+    }
+
+    #[test]
+    fn unreachable_code_is_ignored() {
+        // The SDEC after HALT can never execute.
+        let diags = check("sinc 0\nsdec 0\nhalt\nsdec 0\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

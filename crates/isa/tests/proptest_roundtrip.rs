@@ -9,16 +9,22 @@ fn any_reg() -> impl Strategy<Value = Reg> {
 }
 
 fn any_instr() -> impl Strategy<Value = Instr> {
-    let alu = (0usize..AluOp::ALL.len(), any_reg(), any_reg(), any_reg()).prop_map(
-        |(op, rd, ra, rb)| Instr::Alu {
-            op: AluOp::ALL[op],
-            rd,
-            ra,
-            rb,
-        },
-    );
-    let alui = (0usize..AluImmOp::ALL.len(), any_reg(), any_reg(), -2048i16..=2047).prop_map(
-        |(op, rd, ra, imm)| {
+    let alu =
+        (0usize..AluOp::ALL.len(), any_reg(), any_reg(), any_reg()).prop_map(|(op, rd, ra, rb)| {
+            Instr::Alu {
+                op: AluOp::ALL[op],
+                rd,
+                ra,
+                rb,
+            }
+        });
+    let alui = (
+        0usize..AluImmOp::ALL.len(),
+        any_reg(),
+        any_reg(),
+        -2048i16..=2047,
+    )
+        .prop_map(|(op, rd, ra, imm)| {
             let op = AluImmOp::ALL[op];
             let imm = if op.is_shift() {
                 imm.rem_euclid(16)
@@ -28,18 +34,23 @@ fn any_instr() -> impl Strategy<Value = Instr> {
                 imm.rem_euclid(4096)
             };
             Instr::AluImm { op, rd, ra, imm }
-        },
-    );
-    let branch = (0usize..6, any_reg(), any_reg(), -2048i16..=2047).prop_map(
-        |(c, ra, rb, off)| Instr::Branch {
+        });
+    let branch = (0usize..6, any_reg(), any_reg(), -2048i16..=2047).prop_map(|(c, ra, rb, off)| {
+        Instr::Branch {
             cond: BranchCond::ALL[c],
             ra,
             rb,
             off,
-        },
-    );
-    let sync = (prop_oneof![Just(SyncKind::Inc), Just(SyncKind::Dec), Just(SyncKind::Nop)],
-        0u16..4096)
+        }
+    });
+    let sync = (
+        prop_oneof![
+            Just(SyncKind::Inc),
+            Just(SyncKind::Dec),
+            Just(SyncKind::Nop)
+        ],
+        0u16..4096,
+    )
         .prop_map(|(kind, point)| Instr::Sync { kind, point });
     prop_oneof![
         Just(Instr::Nop),
@@ -52,16 +63,8 @@ fn any_instr() -> impl Strategy<Value = Instr> {
         (any_reg(), any_reg()).prop_map(|(rd, ra)| Instr::Abs { rd, ra }),
         (any_reg(), -16384i16..=16383).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
         (any_reg(), any::<u8>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
-        (any_reg(), any_reg(), -2048i16..=2047).prop_map(|(rd, ra, off)| Instr::Lw {
-            rd,
-            ra,
-            off
-        }),
-        (any_reg(), any_reg(), -2048i16..=2047).prop_map(|(rs, ra, off)| Instr::Sw {
-            rs,
-            ra,
-            off
-        }),
+        (any_reg(), any_reg(), -2048i16..=2047).prop_map(|(rd, ra, off)| Instr::Lw { rd, ra, off }),
+        (any_reg(), any_reg(), -2048i16..=2047).prop_map(|(rs, ra, off)| Instr::Sw { rs, ra, off }),
         branch,
         (-131072i32..=131071).prop_map(|off| Instr::Jmp { off }),
         (any_reg(), -16384i16..=16383).prop_map(|(rd, off)| Instr::Jal { rd, off }),

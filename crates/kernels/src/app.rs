@@ -253,8 +253,7 @@ mod tests {
 
     #[test]
     fn disassembly_lists_sections_and_entries() {
-        let app = crate::build_mf(Arch::MultiCore, &BuildOptions::default())
-            .expect("builds");
+        let app = crate::build_mf(Arch::MultiCore, &BuildOptions::default()).expect("builds");
         let text = app.disassembly();
         assert!(text.contains("section cond"));
         assert!(text.contains("core 0, core 1, core 2"));

@@ -9,7 +9,9 @@
 use wbsn_core::{Mapper, Phase, TaskGraph};
 use wbsn_isa::{Linker, Section};
 
-use crate::app::{benchmark_config, Arch, BarrierStyle, BuildError, BuildOptions, BuiltApp, SyncApproach};
+use crate::app::{
+    benchmark_config, Arch, BarrierStyle, BuildError, BuildOptions, BuiltApp, SyncApproach,
+};
 use crate::layout::SYNC_POINTS;
 use crate::phases::{
     build_classifier_phase, build_combiner_phase, build_delineator_phase, build_filter_phase,
@@ -57,7 +59,11 @@ pub fn build_mf(arch: Arch, options: &BuildOptions) -> Result<BuiltApp, BuildErr
             let preloaded = options.barrier == BarrierStyle::Preloaded;
             let wiring = SyncWiring {
                 produce_point: None,
-                lockstep_point: if lockstep { plan.lockstep_point(conds[0]) } else { None },
+                lockstep_point: if lockstep {
+                    plan.lockstep_point(conds[0])
+                } else {
+                    None
+                },
                 lockstep_preloaded: preloaded,
             };
             if lockstep && preloaded {
@@ -148,7 +154,11 @@ pub fn build_mmd(arch: Arch, options: &BuildOptions) -> Result<BuiltApp, BuildEr
                 style,
                 SyncWiring {
                     produce_point: hw.then_some(cpt1),
-                    lockstep_point: if lockstep { plan.lockstep_point(conds[0]) } else { None },
+                    lockstep_point: if lockstep {
+                        plan.lockstep_point(conds[0])
+                    } else {
+                        None
+                    },
                     lockstep_preloaded: preloaded,
                 },
             )?;
@@ -238,7 +248,9 @@ pub fn build_rpclass(
 
             let hw = options.approach == SyncApproach::Hardware;
             let style = wait_style(arch, options.approach);
-            let cpt0 = plan.consume_point(classify).expect("classifier has a producer");
+            let cpt0 = plan
+                .consume_point(classify)
+                .expect("classifier has a producer");
             let cpt1 = plan.consume_point(comb).expect("combiner has producers");
             let cpt2 = plan.consume_point(delin).expect("delineator has producers");
             let classifier = build_classifier_phase(style, hw.then_some(cpt0))?;
@@ -268,7 +280,11 @@ pub fn build_rpclass(
                 style,
                 SyncWiring {
                     produce_point: hw.then_some(cpt1),
-                    lockstep_point: if lockstep { plan.lockstep_point(cond1) } else { None },
+                    lockstep_point: if lockstep {
+                        plan.lockstep_point(cond1)
+                    } else {
+                        None
+                    },
                     lockstep_preloaded: preloaded,
                 },
             )?;
@@ -278,8 +294,7 @@ pub fn build_rpclass(
                 hw.then_some(cpt1),
                 hw.then_some(cpt2),
             )?;
-            let delineator =
-                build_delineator_phase(style, StreamMode::Burst, hw.then_some(cpt2))?;
+            let delineator = build_delineator_phase(style, StreamMode::Burst, hw.then_some(cpt2))?;
             linker.add_section(Section::in_bank(
                 "classify",
                 classifier,

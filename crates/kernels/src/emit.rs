@@ -122,7 +122,11 @@ impl Emit {
         b.load_const(Reg::R3, stage.w);
         b.load_const(
             Reg::R5,
-            if stage.is_min { i16::MAX as u16 } else { i16::MIN as u16 },
+            if stage.is_min {
+                i16::MAX as u16
+            } else {
+                i16::MIN as u16
+            },
         );
         b.push(Instr::addi(Reg::R4, Reg::R6, stage.ring_off));
         self.label(&scan);
@@ -159,7 +163,7 @@ impl Emit {
         }
         self.b.push(Instr::lw(Reg::R2, Reg::R6, sx));
         self.b.push(Instr::sub(Reg::R1, Reg::R2, Reg::R1)); // x1 = x - baseline
-        // Noise suppression: average of small opening and closing.
+                                                            // Noise suppression: average of small opening and closing.
         self.b.push(Instr::sw(Reg::R1, Reg::R6, sx1));
         self.morph_stage(stages[4]);
         self.morph_stage(stages[5]);

@@ -20,7 +20,7 @@ pub fn golden_filtered(recording: &EcgRecording) -> Vec<Vec<i16>> {
                 layout::MF_CLOSE_W as usize,
                 layout::MF_NOISE_W as usize,
             )
-                .filter(lead)
+            .filter(lead)
         })
         .collect()
 }
@@ -144,11 +144,7 @@ pub fn golden_rp_chain(
                 // the golden delineator counts pushes; onset and peak
                 // always fall inside one burst (a QRS spans a few
                 // samples), so the distance transfers directly.
-                events.push((
-                    idx - (point.sample - point.onset),
-                    idx,
-                    point.strength,
-                ));
+                events.push((idx - (point.sample - point.onset), idx, point.strength));
             }
         }
     }

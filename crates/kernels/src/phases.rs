@@ -13,9 +13,9 @@ use wbsn_isa::{BranchCond, Instr, IsaError, Program, Reg};
 
 use crate::emit::{Emit, LeadPtrs, Stage};
 use crate::layout::{
-    self, PrivAlloc, BUF_RING_LEN, COMBINED_COUNT, COMBINED_RING, COMBINED_RING_LEN,
-    EVENT_COUNT, EVENT_RING, EVENT_RING_LEN, LABEL_RING, LABEL_RING_LEN, LEAD_COUNT_BASE,
-    OUT_RING_LEN, RP_DIMS, SHARED_WORDS, WINDOW_LEN,
+    self, PrivAlloc, BUF_RING_LEN, COMBINED_COUNT, COMBINED_RING, COMBINED_RING_LEN, EVENT_COUNT,
+    EVENT_RING, EVENT_RING_LEN, LABEL_RING, LABEL_RING_LEN, LEAD_COUNT_BASE, OUT_RING_LEN, RP_DIMS,
+    SHARED_WORDS, WINDOW_LEN,
 };
 
 /// How a phase waits for work.
@@ -161,12 +161,7 @@ pub fn emit_mmd_init(e: &mut Emit, st: &MmdState) {
 ///
 /// Mirrors `wbsn_dsp::mmd::MmdDelineator::push` exactly, including the
 /// onset tracking against the half-threshold.
-pub fn emit_mmd_step<F: FnOnce(&mut Emit)>(
-    e: &mut Emit,
-    st: &MmdState,
-    idx_off: i16,
-    fire: F,
-) {
+pub fn emit_mmd_step<F: FnOnce(&mut Emit)>(e: &mut Emit, st: &MmdState, idx_off: i16, fire: F) {
     let chk = e.fresh("mmd_chk");
     let done = e.fresh("mmd_done");
     let clear_onset = e.fresh("mmd_clear_onset");
@@ -287,7 +282,12 @@ pub fn build_filter_phase(
     let last_seq = a.alloc(1);
     let scratch = [a.alloc(1), a.alloc(1), a.alloc(1)];
     let ptrs = LeadPtrs::alloc(&mut a);
-    let stages = alloc_filter_stages(&mut a, layout::MF_OPEN_W, layout::MF_CLOSE_W, layout::MF_NOISE_W);
+    let stages = alloc_filter_stages(
+        &mut a,
+        layout::MF_OPEN_W,
+        layout::MF_CLOSE_W,
+        layout::MF_NOISE_W,
+    );
 
     let mut e = Emit::new();
     e.prologue(SHARED_WORDS);
@@ -644,11 +644,7 @@ pub fn emit_classify(e: &mut Emit, st: &ClassifierState) {
     e.label(&normal);
     e.label(&store);
     // Label ring: ring[BEAT_COUNT & mask] = label; BEAT_COUNT += 1.
-    e.ring_store(
-        LABEL_RING,
-        (LABEL_RING_LEN - 1) as u16,
-        layout::BEAT_COUNT,
-    );
+    e.ring_store(LABEL_RING, (LABEL_RING_LEN - 1) as u16, layout::BEAT_COUNT);
 }
 
 /// Private state of a buffered (triggered) conditioning phase.
@@ -694,7 +690,12 @@ pub fn build_triggered_filter_phase(
         cur_idx: a.alloc(1),
         chunk_save: a.alloc(1),
         scratch: [a.alloc(1), a.alloc(1), a.alloc(1)],
-        stages: alloc_filter_stages(&mut a, layout::MF_OPEN_W, layout::MF_CLOSE_W, layout::MF_NOISE_W),
+        stages: alloc_filter_stages(
+            &mut a,
+            layout::MF_OPEN_W,
+            layout::MF_CLOSE_W,
+            layout::MF_NOISE_W,
+        ),
     };
 
     let mut e = Emit::new();
@@ -886,7 +887,8 @@ mod tests {
 
     #[test]
     fn combiner_and_delineator_assemble() {
-        let c = build_combiner_phase(WaitStyle::Sleep, StreamMode::Contiguous, Some(0), Some(1)).unwrap();
+        let c = build_combiner_phase(WaitStyle::Sleep, StreamMode::Contiguous, Some(0), Some(1))
+            .unwrap();
         assert!(c.sync_instr_count() >= 3);
         let d = build_delineator_phase(WaitStyle::Sleep, StreamMode::Contiguous, Some(1)).unwrap();
         assert!(d.sync_instr_count() >= 2);
@@ -918,7 +920,8 @@ mod tests {
             build_filter_phase(2, 0, WaitStyle::Sleep, SyncWiring::default()).unwrap(),
             build_classifier_phase(WaitStyle::Sleep, Some(0)).unwrap(),
             build_triggered_filter_phase(0, 0, WaitStyle::BusyWait, SyncWiring::default()).unwrap(),
-            build_combiner_phase(WaitStyle::Sleep, StreamMode::Contiguous, Some(0), Some(1)).unwrap(),
+            build_combiner_phase(WaitStyle::Sleep, StreamMode::Contiguous, Some(0), Some(1))
+                .unwrap(),
             build_delineator_phase(WaitStyle::BusyWait, StreamMode::Burst, None).unwrap(),
         ] {
             assert!(p.len() < wbsn_isa::IM_BANK_WORDS, "{} words", p.len());

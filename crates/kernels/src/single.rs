@@ -129,7 +129,9 @@ pub fn build_mmd_single() -> Result<Program, IsaError> {
         (COMBINED_RING_LEN - 1) as u16,
         COMBINED_COUNT,
     );
-    emit_mmd_step(&mut e, &mmd, delin_cnt, |e| emit_event_store(e, &mmd, delin_cnt));
+    emit_mmd_step(&mut e, &mmd, delin_cnt, |e| {
+        emit_event_store(e, &mmd, delin_cnt)
+    });
     e.b.push(Instr::lw(Reg::R2, Reg::R6, delin_cnt));
     e.b.push(Instr::addi(Reg::R2, Reg::R2, 1));
     e.b.push(Instr::sw(Reg::R2, Reg::R6, delin_cnt));
@@ -275,7 +277,12 @@ pub fn build_rpclass_single() -> Result<Program, IsaError> {
     }
     // Combine with the conditioned lead 0 at the same absolute index.
     e.b.push(Instr::lw(Reg::R5, Reg::R6, st.burst_src));
-    e.ring_load(Reg::R4, layout::out_ring(0), (OUT_RING_LEN - 1) as u16, Reg::R5);
+    e.ring_load(
+        Reg::R4,
+        layout::out_ring(0),
+        (OUT_RING_LEN - 1) as u16,
+        Reg::R5,
+    );
     e.b.push(Instr::Abs {
         rd: Reg::R4,
         ra: Reg::R4,

@@ -10,9 +10,7 @@ use wbsn_dsp::mmd::MmdDelineator;
 use wbsn_dsp::rproj::{NearestCentroid, RandomProjection, RpClassifier};
 use wbsn_isa::DataSegment;
 
-use crate::layout::{
-    self, RP_CENTROID_NORMAL, RP_CENTROID_PATH, RP_DIMS, WINDOW_LEN,
-};
+use crate::layout::{self, RP_CENTROID_NORMAL, RP_CENTROID_PATH, RP_DIMS, WINDOW_LEN};
 
 /// Seed of the deterministic projection matrix baked into the kernels.
 pub const RP_SEED: u64 = 0x5EED_1234;
@@ -44,7 +42,8 @@ impl ClassifierParams {
     ///
     /// Panics if the recording lacks examples of either class.
     pub fn train(recording: &EcgRecording) -> ClassifierParams {
-        let projection = RandomProjection::new_seeded(RP_DIMS as usize, WINDOW_LEN as usize, RP_SEED);
+        let projection =
+            RandomProjection::new_seeded(RP_DIMS as usize, WINDOW_LEN as usize, RP_SEED);
         let cond0 = wbsn_dsp::morphology::MorphFilter::new(
             layout::MF_OPEN_W as usize,
             layout::MF_CLOSE_W as usize,
@@ -109,7 +108,13 @@ impl ClassifierParams {
         let mut segments = Vec::new();
         for k in 0..RP_DIMS as usize {
             let words: Vec<u16> = (0..WINDOW_LEN as usize)
-                .map(|i| if self.projection.sign(k, i) { 1u16 } else { (-1i16) as u16 })
+                .map(|i| {
+                    if self.projection.sign(k, i) {
+                        1u16
+                    } else {
+                        (-1i16) as u16
+                    }
+                })
                 .collect();
             segments.push(DataSegment::new(layout::rp_row(k), words));
         }
@@ -179,10 +184,7 @@ mod tests {
         for (k, seg) in segments.iter().take(RP_DIMS as usize).enumerate() {
             assert_eq!(seg.base, layout::rp_row(k));
             assert_eq!(seg.words.len(), WINDOW_LEN as usize);
-            assert!(seg
-                .words
-                .iter()
-                .all(|&w| w == 1 || w == (-1i16) as u16));
+            assert!(seg.words.iter().all(|&w| w == 1 || w == (-1i16) as u16));
         }
         assert_eq!(segments[RP_DIMS as usize].base, RP_CENTROID_NORMAL);
         assert_eq!(segments[RP_DIMS as usize + 1].base, RP_CENTROID_PATH);

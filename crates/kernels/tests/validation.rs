@@ -3,10 +3,12 @@
 
 use wbsn_dsp::ecg::{synthesize, EcgConfig};
 use wbsn_dsp::rproj::BeatLabel;
-use wbsn_kernels::golden::{golden_beats, golden_combined, golden_filtered, golden_fiducials};
+use wbsn_kernels::golden::{golden_beats, golden_combined, golden_fiducials, golden_filtered};
 use wbsn_kernels::layout;
-use wbsn_kernels::{build_mf, build_mmd, build_rpclass, Arch, BuildOptions, BuiltApp,
-    ClassifierParams, SyncApproach};
+use wbsn_kernels::{
+    build_mf, build_mmd, build_rpclass, Arch, BuildOptions, BuiltApp, ClassifierParams,
+    SyncApproach,
+};
 use wbsn_sim::Platform;
 
 fn short_recording(seconds: f64) -> wbsn_dsp::ecg::EcgRecording {
@@ -97,7 +99,10 @@ fn mf_multi_core_hardware_matches_golden_and_broadcasts() {
     // The synchronizer fired barriers and gated cores.
     assert!(platform.synchronizer().stats().fires > 100);
     for core in 0..3 {
-        assert!(stats.cores[core].gated_cycles > 0, "core {core} never slept");
+        assert!(
+            stats.cores[core].gated_cycles > 0,
+            "core {core} never slept"
+        );
     }
 }
 
@@ -224,8 +229,11 @@ fn pathological_recording(seconds: f64, fraction: f64) -> wbsn_dsp::ecg::EcgReco
     })
 }
 
-fn assert_rpclass_labels(platform: &Platform, rec: &wbsn_dsp::ecg::EcgRecording,
-    params: &ClassifierParams) {
+fn assert_rpclass_labels(
+    platform: &Platform,
+    rec: &wbsn_dsp::ecg::EcgRecording,
+    params: &ClassifierParams,
+) {
     let golden = golden_beats(rec, &params.classifier());
     let beat_count = platform.peek_dm(layout::BEAT_COUNT).unwrap() as usize;
     assert_eq!(beat_count, golden.len(), "beat count");
@@ -246,8 +254,11 @@ fn assert_rpclass_labels(platform: &Platform, rec: &wbsn_dsp::ecg::EcgRecording,
     }
 }
 
-fn assert_rpclass_chain(platform: &Platform, rec: &wbsn_dsp::ecg::EcgRecording,
-    params: &ClassifierParams) {
+fn assert_rpclass_chain(
+    platform: &Platform,
+    rec: &wbsn_dsp::ecg::EcgRecording,
+    params: &ClassifierParams,
+) {
     use wbsn_kernels::golden::golden_rp_chain;
     let (combined, events) = golden_rp_chain(rec, &params.classifier());
     // Compare each ring slot against its *last* golden writer (absolute
@@ -258,9 +269,7 @@ fn assert_rpclass_chain(platform: &Platform, rec: &wbsn_dsp::ecg::EcgRecording,
         last_writer.insert(idx as u32 & mask, (idx, value));
     }
     for (&slot, &(idx, value)) in &last_writer {
-        let got = platform
-            .peek_dm(layout::COMBINED_RING + slot)
-            .unwrap() as i16;
+        let got = platform.peek_dm(layout::COMBINED_RING + slot).unwrap() as i16;
         assert_eq!(got, value, "combined[{idx}] (slot {slot})");
     }
     // Fiducial events, in order and bit-exact.
@@ -268,7 +277,11 @@ fn assert_rpclass_chain(platform: &Platform, rec: &wbsn_dsp::ecg::EcgRecording,
     assert_eq!(ecount, events.len(), "event count");
     for (i, &(onset, idx, strength)) in events.iter().enumerate() {
         let slot = layout::EVENT_RING + 4 * (i as u32 & (layout::EVENT_RING_LEN - 1));
-        assert_eq!(platform.peek_dm(slot).unwrap() as usize, onset, "event {i} onset");
+        assert_eq!(
+            platform.peek_dm(slot).unwrap() as usize,
+            onset,
+            "event {i} onset"
+        );
         assert_eq!(
             platform.peek_dm(slot + 1).unwrap() as usize,
             idx,

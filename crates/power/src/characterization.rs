@@ -120,11 +120,9 @@ mod tests {
         let t = EnergyTable::default();
         // A busy single-core cycle (core + fetch + clock) at 0.6 V should
         // land in the tens of pJ — the regime of the paper's ref [11].
-        let per_cycle = (t.core_active_cycle_pj
-            + t.im_read_pj
-            + t.clock_trunk_sc_pj
-            + t.clock_branch_pj)
-            * EnergyTable::dynamic_scale(0.6);
+        let per_cycle =
+            (t.core_active_cycle_pj + t.im_read_pj + t.clock_trunk_sc_pj + t.clock_branch_pj)
+                * EnergyTable::dynamic_scale(0.6);
         assert!((15.0..40.0).contains(&per_cycle), "got {per_cycle} pJ");
     }
 

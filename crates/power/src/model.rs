@@ -24,7 +24,11 @@ pub struct Activity {
 impl Activity {
     /// Derives the powered-instance counts from a run and its platform
     /// configuration, given the number of instruction banks holding code.
-    pub fn derive(stats: &SimStats, config: &PlatformConfig, im_banks_with_code: usize) -> Activity {
+    pub fn derive(
+        stats: &SimStats,
+        config: &PlatformConfig,
+        im_banks_with_code: usize,
+    ) -> Activity {
         let cores_powered = stats
             .cores
             .iter()
@@ -127,7 +131,8 @@ impl PowerModel {
         let prog_mem_uw = uw_dyn(im_reads * t.im_read_pj)
             + uw_leak(activity.im_banks_powered as f64 * t.im_bank_leak_nw);
 
-        let dm_reads: f64 = stats.dm.reads.iter().sum::<u64>() as f64 + stats.sync_region_reads as f64;
+        let dm_reads: f64 =
+            stats.dm.reads.iter().sum::<u64>() as f64 + stats.sync_region_reads as f64;
         let dm_writes: f64 =
             stats.dm.writes.iter().sum::<u64>() as f64 + stats.sync_region_writes as f64;
         let data_mem_uw = uw_dyn(dm_reads * t.dm_read_pj + dm_writes * t.dm_write_pj)
@@ -148,8 +153,7 @@ impl PowerModel {
             InterconnectKind::Crossbar => t.clock_trunk_mc_pj,
             InterconnectKind::Decoder => t.clock_trunk_sc_pj,
         };
-        let clock_tree_uw =
-            uw_dyn(stats.cycles as f64 * trunk + active * t.clock_branch_pj);
+        let clock_tree_uw = uw_dyn(stats.cycles as f64 * trunk + active * t.clock_branch_pj);
 
         PowerBreakdown {
             cores_and_logic_uw,

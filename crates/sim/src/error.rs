@@ -6,6 +6,8 @@ use std::fmt;
 
 use wbsn_core::SyncError;
 
+use crate::watchdog::PostMortem;
+
 /// Why a memory access faulted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -129,6 +131,9 @@ pub enum SimError {
     Sync(SyncError),
     /// The platform configuration is invalid.
     Config(ConfigError),
+    /// The runtime watchdog tripped (deadlock or stalled progress); the
+    /// post-mortem captures the platform state at trip time.
+    Watchdog(Box<PostMortem>),
 }
 
 impl fmt::Display for SimError {
@@ -137,6 +142,7 @@ impl fmt::Display for SimError {
             SimError::Fault(e) => write!(f, "fault: {e}"),
             SimError::Sync(e) => write!(f, "synchronization violation: {e}"),
             SimError::Config(e) => write!(f, "configuration error: {e}"),
+            SimError::Watchdog(pm) => write!(f, "watchdog: {pm}"),
         }
     }
 }
@@ -147,6 +153,7 @@ impl Error for SimError {
             SimError::Fault(e) => Some(e),
             SimError::Sync(e) => Some(e),
             SimError::Config(e) => Some(e),
+            SimError::Watchdog(_) => None,
         }
     }
 }

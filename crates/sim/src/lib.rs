@@ -53,6 +53,7 @@ pub mod mmio;
 pub mod platform;
 pub mod stats;
 pub mod trace;
+pub mod watchdog;
 pub mod xbar;
 
 pub use adc::AdcConfig;
@@ -61,3 +62,4 @@ pub use error::{ConfigError, Fault, FaultKind, SimError};
 pub use platform::{Platform, RunExit};
 pub use stats::{BankStats, CoreStats, SimStats};
 pub use trace::{TraceEvent, Tracer};
+pub use watchdog::{CoreDump, PointDump, PostMortem, WatchdogTrip};

@@ -77,7 +77,10 @@ mod tests {
 
     #[test]
     fn decodes_known_registers() {
-        assert_eq!(MmioReg::decode(ADC_DATA_BASE + 2), Some(MmioReg::AdcData(2)));
+        assert_eq!(
+            MmioReg::decode(ADC_DATA_BASE + 2),
+            Some(MmioReg::AdcData(2))
+        );
         assert_eq!(MmioReg::decode(ADC_SEQ_BASE), Some(MmioReg::AdcSeq(0)));
         assert_eq!(MmioReg::decode(SYNC_SUBSCRIBE), Some(MmioReg::Subscribe));
         assert_eq!(

@@ -13,6 +13,7 @@ use crate::memory::{DataMemory, InstrMemory};
 use crate::mmio::MmioReg;
 use crate::stats::SimStats;
 use crate::trace::{TraceEvent, Tracer};
+use crate::watchdog::{CoreDump, PointDump, PostMortem, WatchdogTrip};
 use crate::xbar::{arbitrate, Grant, Request};
 
 /// Why a [`Platform::run`] call returned.
@@ -74,6 +75,13 @@ pub struct Platform {
     breakpoints: Vec<u32>,
     watchpoints: Vec<u32>,
     watch_hit: Option<(usize, u32)>,
+    /// Stall budget in cycles; `None` disables the watchdog.
+    watchdog: Option<u64>,
+    /// Last cycle at which progress (an instruction retirement or an
+    /// accounted idle skip) was observed.
+    last_progress_cycle: u64,
+    /// Total retired instructions at the last progress observation.
+    last_instr_total: u64,
 }
 
 impl Platform {
@@ -152,6 +160,9 @@ impl Platform {
             breakpoints: Vec::new(),
             watchpoints: Vec::new(),
             watch_hit: None,
+            watchdog: None,
+            last_progress_cycle: 0,
+            last_instr_total: 0,
         })
     }
 
@@ -221,6 +232,87 @@ impl Platform {
     pub fn add_watchpoint(&mut self, addr: u32) {
         if !self.watchpoints.contains(&addr) {
             self.watchpoints.push(addr);
+        }
+    }
+
+    /// Arms the runtime watchdog: [`Platform::run`] returns
+    /// [`SimError::Watchdog`] with a [`PostMortem`] instead of exiting
+    /// [`RunExit::Quiescent`] when gated cores wait on synchronization
+    /// points that can never fire, and instead of spinning when no
+    /// instruction retires for `stall_cycles` cycles.
+    ///
+    /// The watchdog is off by default so that workloads ending in an
+    /// intentional final sleep keep their quiescent exit.
+    pub fn set_watchdog(&mut self, stall_cycles: u64) {
+        self.watchdog = Some(stall_cycles.max(1));
+        self.last_progress_cycle = self.stats.cycles;
+        self.last_instr_total = self.total_instructions();
+    }
+
+    fn total_instructions(&self) -> u64 {
+        self.stats.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Present, unhalted, gated cores that are flagged in at least one
+    /// synchronization point — cores expecting a wake.
+    fn sync_waiters(&self) -> Vec<usize> {
+        let mut flagged = wbsn_core::CoreSet::empty();
+        for point in 0..self.config.sync_points as u16 {
+            if let Ok(value) = self.synchronizer.point_value(point) {
+                flagged = flagged.union(value.flags());
+            }
+        }
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(idx, slot)| {
+                slot.present
+                    && !slot.core.is_halted()
+                    && slot.core.is_gated()
+                    && CoreId::new(*idx).is_ok_and(|c| flagged.contains(c))
+            })
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+
+    /// Captures the platform state for a watchdog report.
+    fn post_mortem(&self, trip: WatchdogTrip) -> PostMortem {
+        let cores = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(idx, slot)| CoreDump {
+                core: idx,
+                pc: slot.core.pc(),
+                halted: slot.core.is_halted(),
+                gated: slot.core.is_gated(),
+                present: slot.present,
+            })
+            .collect();
+        let points = (0..self.config.sync_points as u16)
+            .map(|point| PointDump {
+                point,
+                value: self
+                    .synchronizer
+                    .point_value(point)
+                    .expect("configured point"),
+                armed: self
+                    .synchronizer
+                    .point_armed(point)
+                    .expect("configured point"),
+            })
+            .collect();
+        let trace_tail = self
+            .tracer
+            .as_ref()
+            .map(|t| t.events().copied().collect())
+            .unwrap_or_default();
+        PostMortem {
+            cycle: self.stats.cycles,
+            trip,
+            cores,
+            points,
+            trace_tail,
         }
     }
 
@@ -359,9 +451,20 @@ impl Platform {
                                 }
                             }
                             self.stats.cycles = tick;
+                            // An accounted idle skip is progress, not a
+                            // stall.
+                            self.last_progress_cycle = self.stats.cycles;
                         }
                     }
                     _ => {
+                        if self.watchdog.is_some() {
+                            let waiting = self.sync_waiters();
+                            if !waiting.is_empty() {
+                                return Err(SimError::Watchdog(Box::new(
+                                    self.post_mortem(WatchdogTrip::Deadlock { waiting }),
+                                )));
+                            }
+                        }
                         return Ok(RunExit::Quiescent);
                     }
                 }
@@ -370,21 +473,28 @@ impl Platform {
             if let Some((core, addr)) = self.watch_hit.take() {
                 return Ok(RunExit::Watchpoint { core, addr });
             }
+            if let Some(budget) = self.watchdog {
+                let instr_total = self.total_instructions();
+                if instr_total != self.last_instr_total {
+                    self.last_instr_total = instr_total;
+                    self.last_progress_cycle = self.stats.cycles;
+                } else if self.stats.cycles - self.last_progress_cycle > budget {
+                    return Err(SimError::Watchdog(Box::new(
+                        self.post_mortem(WatchdogTrip::Stall { budget }),
+                    )));
+                }
+            }
         }
         Ok(RunExit::CycleLimit)
     }
 
     fn all_halted(&self) -> bool {
-        self.slots
-            .iter()
-            .all(|s| !s.present || s.core.is_halted())
+        self.slots.iter().all(|s| !s.present || s.core.is_halted())
     }
 
     fn all_idle(&self) -> bool {
         self.slots.iter().all(|s| {
-            !s.present
-                || s.core.is_halted()
-                || (s.core.is_gated() && s.held.is_none() && !s.bubble)
+            !s.present || s.core.is_halted() || (s.core.is_gated() && s.held.is_none() && !s.bubble)
         })
     }
 
@@ -534,18 +644,15 @@ impl Platform {
                         MemIntent::Load { addr } => (addr, None),
                         MemIntent::Store { addr, value } => (addr, Some(value)),
                     };
-                    let target =
-                        self.atu
-                            .translate(idx, addr)
-                            .map_err(|kind| -> SimError {
-                                Fault {
-                                    core: idx,
-                                    pc: slot.core.pc(),
-                                    addr,
-                                    kind,
-                                }
-                                .into()
-                            })?;
+                    let target = self.atu.translate(idx, addr).map_err(|kind| -> SimError {
+                        Fault {
+                            core: idx,
+                            pc: slot.core.pc(),
+                            addr,
+                            kind,
+                        }
+                        .into()
+                    })?;
                     match target {
                         DmTarget::Memory { location, .. } => {
                             dm_reqs.push(Request {
@@ -638,10 +745,7 @@ impl Platform {
         // 6. Retirement.
         for (slot_idx, r) in ready {
             let slot = &mut self.slots[slot_idx];
-            let instr = slot
-                .held
-                .take()
-                .expect("ready instructions were held");
+            let instr = slot.held.take().expect("ready instructions were held");
             let load_value = match r {
                 Ready::Load(v) => Some(v),
                 _ => None,
@@ -688,12 +792,7 @@ impl Platform {
         Ok(())
     }
 
-    fn access_mmio(
-        &mut self,
-        core: usize,
-        addr: u32,
-        store: Option<u16>,
-    ) -> Result<u16, SimError> {
+    fn access_mmio(&mut self, core: usize, addr: u32, store: Option<u16>) -> Result<u16, SimError> {
         let pc = self.slots[core].core.pc();
         let fault = |kind: FaultKind| -> SimError {
             Fault {
@@ -721,9 +820,7 @@ impl Platform {
                 match reg {
                     MmioReg::AdcData(ch) => Ok(self.adc.read_data(ch)),
                     MmioReg::AdcSeq(ch) => Ok(self.adc.read_seq(ch)),
-                    MmioReg::Subscription => {
-                        Ok(self.synchronizer.subscription(CoreId::new(core)?))
-                    }
+                    MmioReg::Subscription => Ok(self.synchronizer.subscription(CoreId::new(core)?)),
                     MmioReg::CoreId => Ok(core as u16),
                     MmioReg::Subscribe => Ok(0),
                 }
@@ -881,6 +978,56 @@ mod tests {
         p.run(100).unwrap();
         assert_eq!(p.peek_dm(0x300).unwrap(), 3);
         assert_eq!(p.stats().sync_region_reads, 1);
+    }
+
+    #[test]
+    fn orphaned_snop_trips_the_deadlock_watchdog() {
+        // The core registers on point 0 and sleeps, but nothing will
+        // ever signal the point. Without the watchdog this reads as a
+        // quiescent exit; with it, a deadlock post-mortem.
+        let mut p = single_core_platform("snop 0\nsleep\nhalt\n");
+        p.set_watchdog(10_000);
+        p.enable_trace(16, 0xFF);
+        let err = p.run(1_000_000).unwrap_err();
+        let SimError::Watchdog(pm) = err else {
+            panic!("expected watchdog trip, got {err:?}");
+        };
+        assert_eq!(pm.trip, WatchdogTrip::Deadlock { waiting: vec![0] });
+        assert!(pm.cores[0].gated);
+        assert!(pm.points[0].value.flags().bits() & 1 != 0, "core 0 flagged");
+        assert!(!pm.trace_tail.is_empty(), "trace tail captured");
+        assert!(pm.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn intentional_final_sleep_stays_quiescent_under_watchdog() {
+        // No sync-point registration: the sleep is the workload's end.
+        let mut p = single_core_platform("sleep\nhalt\n");
+        p.set_watchdog(10_000);
+        assert_eq!(p.run(1_000_000).unwrap(), RunExit::Quiescent);
+    }
+
+    #[test]
+    fn watchdog_off_preserves_quiescent_exit() {
+        let mut p = single_core_platform("snop 0\nsleep\nhalt\n");
+        assert_eq!(p.run(1_000_000).unwrap(), RunExit::Quiescent);
+    }
+
+    #[test]
+    fn watchdog_spares_gated_waits_that_do_resolve() {
+        // Producer/consumer on one core pair: the consumer's wait is
+        // signalled, so the watchdog must not trip.
+        let producer = assemble_text("sinc 0\nsdec 0\nhalt\n").unwrap();
+        let consumer = assemble_text("snop 0\nsleep\nhalt\n").unwrap();
+        let mut linker = Linker::new();
+        linker.add_section(Section::in_bank("producer", producer, 0));
+        linker.add_section(Section::in_bank("consumer", consumer, 1));
+        linker.set_entry(0, "producer");
+        linker.set_entry(1, "consumer");
+        let image = linker.link().unwrap();
+        let mut p = Platform::new(PlatformConfig::multi_core(), &image).unwrap();
+        p.set_watchdog(10_000);
+        assert_eq!(p.run(100_000).unwrap(), RunExit::AllHalted);
     }
 
     #[test]

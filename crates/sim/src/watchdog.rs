@@ -1,0 +1,192 @@
+//! Runtime watchdog: deadlock and stalled-progress detection with a
+//! post-mortem dump.
+//!
+//! A synchronization bug on real hardware is silent: every core is
+//! clock-gated, nothing retires, and the node just stops. The
+//! platform's watchdog ([`crate::Platform::set_watchdog`]) turns that
+//! silence into a diagnosis. Two conditions trip it:
+//!
+//! * **Deadlock** — every live core is clock-gated, no ADC event is
+//!   pending, and at least one gated core is flagged in a
+//!   synchronization point: it registered for a wake that no running
+//!   core can ever deliver. (Gated cores with no registration are the
+//!   workload's intentional final sleep and still exit
+//!   [`crate::RunExit::Quiescent`].)
+//! * **Stall** — the configured number of cycles elapsed without a
+//!   single instruction retiring anywhere, while the platform is not in
+//!   an accounted idle skip.
+//!
+//! Instead of hanging (or mis-reporting an exit), the run returns
+//! [`crate::SimError::Watchdog`] carrying a [`PostMortem`]: per-core
+//! architectural state, every synchronization-point word with its armed
+//! bit, and — when tracing is enabled — the last retired instructions.
+
+use std::fmt;
+
+use wbsn_core::SyncPointValue;
+
+use crate::trace::TraceEvent;
+
+/// What tripped the watchdog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchdogTrip {
+    /// All live cores are gated; the listed cores are flagged in
+    /// synchronization points that can never fire.
+    Deadlock {
+        /// Cores waiting on a wake that cannot be delivered.
+        waiting: Vec<usize>,
+    },
+    /// No instruction retired for the configured budget.
+    Stall {
+        /// The stall budget that was exceeded, in cycles.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for WatchdogTrip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchdogTrip::Deadlock { waiting } => write!(
+                f,
+                "deadlock — cores {waiting:?} are clock-gated on synchronization \
+                 points no running core can signal"
+            ),
+            WatchdogTrip::Stall { budget } => {
+                write!(f, "stall — no instruction retired for {budget} cycles")
+            }
+        }
+    }
+}
+
+/// Architectural state of one core at trip time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreDump {
+    /// Core index.
+    pub core: usize,
+    /// Program counter.
+    pub pc: u32,
+    /// The core executed `HALT`.
+    pub halted: bool,
+    /// The core is clock-gated.
+    pub gated: bool,
+    /// The core had a linked entry point.
+    pub present: bool,
+}
+
+/// One synchronization-point word at trip time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointDump {
+    /// Point index.
+    pub point: u16,
+    /// The point's word (flags + counter).
+    pub value: SyncPointValue,
+    /// The synchronizer's armed bit for the point.
+    pub armed: bool,
+}
+
+/// Everything the watchdog captured when it tripped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostMortem {
+    /// Cycle at which the trip was detected.
+    pub cycle: u64,
+    /// The tripping condition.
+    pub trip: WatchdogTrip,
+    /// Per-core architectural state.
+    pub cores: Vec<CoreDump>,
+    /// Every synchronization-point word.
+    pub points: Vec<PointDump>,
+    /// The last retired instructions, oldest first (empty unless
+    /// tracing was enabled).
+    pub trace_tail: Vec<TraceEvent>,
+}
+
+impl fmt::Display for PostMortem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} at cycle {}", self.trip, self.cycle)?;
+        for c in &self.cores {
+            if !c.present {
+                continue;
+            }
+            let state = if c.halted {
+                "halted"
+            } else if c.gated {
+                "gated"
+            } else {
+                "running"
+            };
+            writeln!(f, "  core {}: pc {:#06x} {}", c.core, c.pc, state)?;
+        }
+        for p in &self.points {
+            writeln!(
+                f,
+                "  point {:>2}: flags {:#010b} counter {}{}",
+                p.point,
+                p.value.flags().bits(),
+                p.value.counter(),
+                if p.armed { " armed" } else { "" }
+            )?;
+        }
+        if !self.trace_tail.is_empty() {
+            writeln!(f, "  last retirements:")?;
+            for event in &self.trace_tail {
+                writeln!(f, "    {event}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbsn_core::CoreSet;
+
+    #[test]
+    fn post_mortem_renders_cores_points_and_trace() {
+        let pm = PostMortem {
+            cycle: 42,
+            trip: WatchdogTrip::Deadlock { waiting: vec![1] },
+            cores: vec![
+                CoreDump {
+                    core: 0,
+                    pc: 0x4,
+                    halted: true,
+                    gated: false,
+                    present: true,
+                },
+                CoreDump {
+                    core: 1,
+                    pc: 0x10,
+                    halted: false,
+                    gated: true,
+                    present: true,
+                },
+                CoreDump {
+                    core: 2,
+                    pc: 0,
+                    halted: false,
+                    gated: true,
+                    present: false,
+                },
+            ],
+            points: vec![PointDump {
+                point: 0,
+                value: SyncPointValue::with(CoreSet::first(2), 3),
+                armed: true,
+            }],
+            trace_tail: Vec::new(),
+        };
+        let text = pm.to_string();
+        assert!(text.contains("deadlock"));
+        assert!(text.contains("cycle 42"));
+        assert!(text.contains("core 1: pc 0x0010 gated"));
+        assert!(text.contains("counter 3 armed"));
+        assert!(!text.contains("core 2"), "absent cores are omitted");
+    }
+
+    #[test]
+    fn stall_trip_renders_budget() {
+        let trip = WatchdogTrip::Stall { budget: 500 };
+        assert!(trip.to_string().contains("500 cycles"));
+    }
+}

@@ -116,7 +116,11 @@ mod tests {
 
     #[test]
     fn disjoint_banks_all_proceed() {
-        let reqs = [req(0, 0, 0, false), req(1, 1, 5000, false), req(2, 2, 9000, true)];
+        let reqs = [
+            req(0, 0, 0, false),
+            req(1, 1, 5000, false),
+            req(2, 2, 9000, true),
+        ];
         let g = arbitrate(&reqs, 0, true);
         assert_eq!(g, vec![Grant::Access; 3]);
     }
@@ -146,7 +150,12 @@ mod tests {
         let g = arbitrate(&reqs, 0, true);
         assert_eq!(
             g,
-            vec![Grant::Access, Grant::Broadcast, Grant::Broadcast, Grant::Stall]
+            vec![
+                Grant::Access,
+                Grant::Broadcast,
+                Grant::Broadcast,
+                Grant::Stall
+            ]
         );
     }
 

@@ -67,10 +67,7 @@ fn lockstep_fetch_broadcasts() {
                 loop: addi r1, r1, -1\n\
                 bne r1, r0, loop\n\
                 halt\n";
-    let mut platform = build_platform(
-        vec![("phase", body, 2)],
-        &[(0, "phase"), (1, "phase")],
-    );
+    let mut platform = build_platform(vec![("phase", body, 2)], &[(0, "phase"), (1, "phase")]);
     assert_eq!(platform.run(10_000).unwrap(), RunExit::AllHalted);
     let im = &platform.stats().im;
     // Both cores execute the same ~400 instructions from the same

@@ -23,7 +23,11 @@ fn multi(sections: Vec<(&str, &str, usize)>, entries: &[(usize, &str)]) -> Platf
 #[test]
 fn trace_records_retirements_in_order() {
     let mut p = multi(
-        vec![("main", "li r1, 2\nadd r1, r1, r1\nsw r1, 0x40(r0)\nhalt\n", 0)],
+        vec![(
+            "main",
+            "li r1, 2\nadd r1, r1, r1\nsw r1, 0x40(r0)\nhalt\n",
+            0,
+        )],
         &[(0, "main")],
     );
     p.enable_trace(16, 0b1);
@@ -88,7 +92,10 @@ fn shared_data_bank_conflicts_retry_correctly() {
     let b = "li r1, 100\nli r3, 9\nlb: sw r3, 0x50(r0)\naddi r1, r1, -1\nbne r1, r0, lb\nhalt\n";
     let mut p = multi(vec![("a", a, 0), ("b", b, 1)], &[(0, "a"), (1, "b")]);
     assert_eq!(p.run(10_000).unwrap(), RunExit::AllHalted);
-    assert!(p.stats().dm.conflicts > 0, "stores to one bank must collide");
+    assert!(
+        p.stats().dm.conflicts > 0,
+        "stores to one bank must collide"
+    );
     assert_eq!(p.peek_dm(0x40).unwrap(), 7);
     assert_eq!(p.peek_dm(0x50).unwrap(), 9);
 }
@@ -125,7 +132,11 @@ fn private_out_of_range_faults() {
 #[test]
 fn breakpoints_stop_before_execution_and_resume() {
     let mut p = multi(
-        vec![("main", "li r1, 1\nli r2, 2\nadd r3, r1, r2\nsw r3, 0x40(r0)\nhalt\n", 0)],
+        vec![(
+            "main",
+            "li r1, 1\nli r2, 2\nadd r3, r1, r2\nsw r3, 0x40(r0)\nhalt\n",
+            0,
+        )],
         &[(0, "main")],
     );
     // Break at the `add` (program-relative pc 2).
@@ -149,7 +160,13 @@ fn watchpoints_stop_on_the_writing_core() {
     let mut p = multi(vec![("a", a, 0), ("b", b, 1)], &[(0, "a"), (1, "b")]);
     p.add_watchpoint(0x61);
     let exit = p.run(1000).unwrap();
-    assert_eq!(exit, RunExit::Watchpoint { core: 1, addr: 0x61 });
+    assert_eq!(
+        exit,
+        RunExit::Watchpoint {
+            core: 1,
+            addr: 0x61
+        }
+    );
     // The write itself completed.
     assert_eq!(p.peek_dm(0x61).unwrap(), 9);
     assert_eq!(p.run(1000).unwrap(), RunExit::AllHalted);

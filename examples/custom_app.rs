@@ -31,7 +31,7 @@ fn build_averager(consume_point: u16, lockstep_point: u16) -> wbsn::isa::Program
     // Private layout: 0 = last_seq, 1 = running sum, 2.. = pointers.
     b.load_const(Reg::R0, 0);
     b.load_const(Reg::R6, 0x1800); // private base
-    // ch = CORE_ID; precompute &ADC_SEQ[ch], &ADC_DATA[ch], &avg[ch].
+                                   // ch = CORE_ID; precompute &ADC_SEQ[ch], &ADC_DATA[ch], &avg[ch].
     b.load_const(Reg::R2, 0x7F22); // CORE_ID
     b.push(Instr::lw(Reg::R5, Reg::R2, 0));
     b.load_const(Reg::R2, ADC_SEQ_BASE as u16);
@@ -70,14 +70,22 @@ fn build_averager(consume_point: u16, lockstep_point: u16) -> wbsn::isa::Program
     b.push(Instr::lw(Reg::R2, Reg::R6, 3));
     b.push(Instr::lw(Reg::R1, Reg::R2, 0)); // x
     b.push(Instr::lw(Reg::R2, Reg::R6, 1)); // sum
-    b.push(Instr::srai(Reg::R3, Reg::R2, WINDOW.trailing_zeros() as i16));
+    b.push(Instr::srai(
+        Reg::R3,
+        Reg::R2,
+        WINDOW.trailing_zeros() as i16,
+    ));
     b.push(Instr::sub(Reg::R2, Reg::R2, Reg::R3));
     b.push(Instr::add(Reg::R2, Reg::R2, Reg::R1));
     b.push(Instr::sw(Reg::R2, Reg::R6, 1));
-    b.push(Instr::srai(Reg::R1, Reg::R2, WINDOW.trailing_zeros() as i16));
+    b.push(Instr::srai(
+        Reg::R1,
+        Reg::R2,
+        WINDOW.trailing_zeros() as i16,
+    ));
     b.push(Instr::lw(Reg::R2, Reg::R6, 4));
     b.push(Instr::sw(Reg::R1, Reg::R2, 0)); // publish avg[ch]
-    // Barrier, then signal the consumer.
+                                            // Barrier, then signal the consumer.
     b.push(Instr::sdec(lockstep_point));
     b.push(Instr::Sleep);
     b.push(Instr::sdec(consume_point));

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let app = build_mmd(Arch::MultiCore, &BuildOptions::default())?;
-    println!("{}", app.plan.as_ref().expect("multi-core build has a plan"));
+    println!(
+        "{}",
+        app.plan.as_ref().expect("multi-core build has a plan")
+    );
     println!("code overhead {:.2}%", app.code_overhead_percent());
 
     let samples = recording.leads[0].len() as u64;

@@ -26,8 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..EcgConfig::healthy_60s()
         });
         let samples = recording.leads[0].len() as u64;
-        let budget =
-            app.config.adc.start_cycle + (samples + 8) * app.config.adc.period_cycles;
+        let budget = app.config.adc.start_cycle + (samples + 8) * app.config.adc.period_cycles;
         let mut platform = app.platform(recording.leads.clone())?;
         platform.run(budget)?;
 
@@ -42,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("delineation events    : {events}");
         let stats = platform.stats();
         let names = [
-            "classifier", "conditioner0", "chain cond1", "chain cond2", "chain combine",
+            "classifier",
+            "conditioner0",
+            "chain cond1",
+            "chain cond2",
+            "chain combine",
             "chain delineate",
         ];
         for (core, name) in names.iter().enumerate() {

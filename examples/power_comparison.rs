@@ -19,11 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mc = measure(BenchmarkId::Mf, RunVariant::MultiCoreSync, &config, &params)?;
 
     for m in [&sc, &mc] {
-        println!(
-            "=== {} on {} ===",
-            m.benchmark.name(),
-            m.variant.label()
-        );
+        println!("=== {} on {} ===", m.benchmark.name(), m.variant.label());
         println!(
             "clock {:.1} MHz at {:.1} V, {} cores, IM broadcast {:.1}%",
             m.clock_hz / 1e6,
@@ -35,8 +31,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
     }
     let saving = 100.0 * (1.0 - mc.power_uw() / sc.power_uw());
-    println!(
-        "multi-core saving: {saving:.1}%  (the paper reports up to 40% for this benchmark)"
-    );
+    println!("multi-core saving: {saving:.1}%  (the paper reports up to 40% for this benchmark)");
     Ok(())
 }

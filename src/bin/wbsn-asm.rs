@@ -5,6 +5,10 @@
 //! USAGE: wbsn-asm [OPTIONS] <file[:bank]>...
 //!
 //!   -o <out.img>            output path (default: a.img)
+//!   --lint                  check the synchronization protocol; style
+//!                           findings are warnings, sync-flow violations
+//!                           (unbalanced SINC/SDEC, counter range,
+//!                           unallocated points) reject the build
 //!   --entry <core=section>  entry point (repeatable; section = file stem)
 //!   --data <addr=v,v,...>   initial data-memory segment (repeatable)
 //!
@@ -16,7 +20,7 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use wbsn::isa::{assemble_text, image, lint, DataSegment, Linker, Section};
+use wbsn::isa::{assemble_text, image, lint, syncflow, DataSegment, Linker, Section};
 
 fn usage() -> ExitCode {
     eprintln!("usage: wbsn-asm [-o out.img] [--lint] [--entry core=section]... [--data addr=v,v,..]... <file[:bank]>...");
@@ -38,21 +42,31 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--entry" => {
-                let Some(spec) = args.next() else { return usage() };
+                let Some(spec) = args.next() else {
+                    return usage();
+                };
                 let Some((core, section)) = spec.split_once('=') else {
                     return usage();
                 };
-                let Ok(core) = core.parse() else { return usage() };
+                let Ok(core) = core.parse() else {
+                    return usage();
+                };
                 entries.push((core, section.to_string()));
             }
             "--data" => {
-                let Some(spec) = args.next() else { return usage() };
+                let Some(spec) = args.next() else {
+                    return usage();
+                };
                 let Some((addr, values)) = spec.split_once('=') else {
                     return usage();
                 };
-                let Ok(addr) = parse_int(addr) else { return usage() };
-                let words: Result<Vec<u16>, _> =
-                    values.split(',').map(|v| parse_int(v).map(|x| x as u16)).collect();
+                let Ok(addr) = parse_int(addr) else {
+                    return usage();
+                };
+                let words: Result<Vec<u16>, _> = values
+                    .split(',')
+                    .map(|v| parse_int(v).map(|x| x as u16))
+                    .collect();
                 let Ok(words) = words else { return usage() };
                 data.push(DataSegment::new(addr, words));
             }
@@ -75,6 +89,7 @@ fn main() -> ExitCode {
 
     let mut linker = Linker::new();
     let mut first_section = None;
+    let mut violations = 0usize;
     for (file, bank) in &inputs {
         let source = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -94,6 +109,12 @@ fn main() -> ExitCode {
             for warning in lint::lint(&program, &lint::LintConfig::default()) {
                 eprintln!("wbsn-asm: {file}: warning: {warning}");
             }
+            let config =
+                syncflow::SyncFlowConfig::with_sync_points(lint::LintConfig::default().sync_points);
+            for diag in syncflow::analyze(&program, &config) {
+                eprintln!("wbsn-asm: {file}: error: {diag}");
+                violations += 1;
+            }
         }
         let name = Path::new(file)
             .file_stem()
@@ -105,6 +126,12 @@ fn main() -> ExitCode {
             Some(bank) => linker.add_section(Section::in_bank(name, program, *bank)),
             None => linker.add_section(Section::new(name, program)),
         };
+    }
+    if violations > 0 {
+        eprintln!(
+            "wbsn-asm: rejected: {violations} synchronization protocol violation(s); no image written"
+        );
+        return ExitCode::FAILURE;
     }
     for segment in data {
         linker.add_data(segment);

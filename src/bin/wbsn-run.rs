@@ -5,6 +5,11 @@
 //!
 //!   --single-core        decoder baseline (default: 8-core platform)
 //!   --cycles <N>         cycle budget (default: 1,000,000)
+//!   --check              statically verify the image's synchronization
+//!                        protocol before running; violations abort
+//!   --watchdog-cycles N  arm the runtime watchdog: a deadlock or N
+//!                        cycles without progress exits with a
+//!                        post-mortem dump instead of hanging
 //!   --dump <addr:len>    print a data-memory range after the run (repeatable)
 //!   --trace <N>          keep and print the last N retirements
 //!   --break <pc>         stop when any core is about to execute pc (repeatable)
@@ -13,12 +18,13 @@
 
 use std::process::ExitCode;
 
+use wbsn::core::mapping::verify::{verify_image, VerifyConfig};
 use wbsn::isa::image;
 use wbsn::sim::{Platform, PlatformConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: wbsn-run [--single-core] [--cycles N] [--dump addr:len]... [--trace N] [--break pc]... [--watch addr]... <image.img>"
+        "usage: wbsn-run [--single-core] [--cycles N] [--check] [--watchdog-cycles N] [--dump addr:len]... [--trace N] [--break pc]... [--watch addr]... <image.img>"
     );
     ExitCode::from(2)
 }
@@ -26,6 +32,8 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut single_core = false;
     let mut cycles: u64 = 1_000_000;
+    let mut check = false;
+    let mut watchdog: Option<u64> = None;
     let mut dumps: Vec<(u32, u32)> = Vec::new();
     let mut trace: Option<usize> = None;
     let mut breakpoints: Vec<u32> = Vec::new();
@@ -36,8 +44,13 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--single-core" => single_core = true,
+            "--check" => check = true,
             "--cycles" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => cycles = n,
+                None => return usage(),
+            },
+            "--watchdog-cycles" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => watchdog = Some(n),
                 None => return usage(),
             },
             "--trace" => match args.next().and_then(|v| v.parse().ok()) {
@@ -53,7 +66,9 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--dump" => {
-                let Some(spec) = args.next() else { return usage() };
+                let Some(spec) = args.next() else {
+                    return usage();
+                };
                 let Some((addr, len)) = spec.split_once(':') else {
                     return usage();
                 };
@@ -87,6 +102,28 @@ fn main() -> ExitCode {
     } else {
         PlatformConfig::multi_core()
     };
+    if check {
+        let verify_config = VerifyConfig::new(config.sync_points as u16);
+        match verify_image(&linked, &verify_config) {
+            Ok(diags) if diags.is_empty() => {
+                println!("check: synchronization protocol OK");
+            }
+            Ok(diags) => {
+                for diag in &diags {
+                    eprintln!("wbsn-run: check: {diag}");
+                }
+                eprintln!(
+                    "wbsn-run: {input}: {} synchronization protocol violation(s)",
+                    diags.len()
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("wbsn-run: check: {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let mut platform = match Platform::new(config, &linked) {
         Ok(p) => p,
         Err(e) => {
@@ -96,6 +133,9 @@ fn main() -> ExitCode {
     };
     if let Some(capacity) = trace {
         platform.enable_trace(capacity, 0xFF);
+    }
+    if let Some(stall_cycles) = watchdog {
+        platform.set_watchdog(stall_cycles);
     }
     for pc in breakpoints {
         platform.add_breakpoint(pc);
@@ -120,13 +160,20 @@ fn main() -> ExitCode {
                     100.0 * cs.duty_cycle()
                 );
             }
+            let sync = platform.synchronizer().stats();
             println!(
                 "IM accesses {} (broadcast {:.1}%), DM accesses {}, sync fires {}",
                 stats.im.accesses(),
                 stats.im.broadcast_percent(),
                 stats.dm.accesses(),
-                platform.synchronizer().stats().fires
+                sync.fires
             );
+            if sync.lost_wakes > 0 || sync.invariant_faults > 0 {
+                println!(
+                    "sync detectors: {} lost wake(s), {} counter invariant fault(s)",
+                    sync.lost_wakes, sync.invariant_faults
+                );
+            }
         }
         Err(e) => {
             eprintln!("wbsn-run: {e}");

@@ -19,10 +19,7 @@ fn platform_from(src: &str) -> Platform {
 fn sdec_underflow_is_a_detected_protocol_violation() {
     let mut p = platform_from("sdec 0\nhalt\n");
     let err = p.run(100).unwrap_err();
-    assert!(matches!(
-        err,
-        SimError::Sync(SyncError::CounterUnderflow)
-    ));
+    assert!(matches!(err, SimError::Sync(SyncError::CounterUnderflow)));
 }
 
 #[test]
@@ -117,7 +114,10 @@ fn overrun_detection_fires_under_starvation() {
 #[test]
 fn store_to_reserved_regions_faults() {
     for (src, kind) in [
-        ("li r1, 1\nsw r1, 0x10(r0)\nhalt\n", FaultKind::WriteToSyncRegion),
+        (
+            "li r1, 1\nsw r1, 0x10(r0)\nhalt\n",
+            FaultKind::WriteToSyncRegion,
+        ),
         (
             "lui r2, 0x7F\nli r1, 1\nsw r1, 0(r2)\nhalt\n",
             FaultKind::MmioReadOnly,

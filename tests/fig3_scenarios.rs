@@ -1,9 +1,11 @@
 //! The two scenarios of the paper's Fig. 3, executed both on the
 //! synchronizer unit directly and as real binaries on the full platform.
 
+use wbsn::core::mapping::verify::{verify_image, VerifyConfig, VerifyDiag};
 use wbsn::core::{CoreId, SyncPointValue, Synchronizer};
+use wbsn::isa::syncflow::{self, SyncFlowDiag};
 use wbsn::isa::{assemble_text, Linker, Section, SyncKind};
-use wbsn::sim::{Platform, PlatformConfig, RunExit};
+use wbsn::sim::{Platform, PlatformConfig, RunExit, SimError, WatchdogTrip};
 
 fn core(i: usize) -> CoreId {
     CoreId::new(i).expect("test core in range")
@@ -92,6 +94,87 @@ fn fig3b_on_the_platform() {
     let stats = platform.stats();
     assert!(stats.cores[1].gated_cycles > stats.cores[0].gated_cycles);
     assert_eq!(platform.synchronizer().stats().fires, 1);
+}
+
+/// Fig. 3-b gone wrong: one branch arm carries the SINC but the other
+/// does not, so the lock-step group's counter diverges depending on
+/// data. The static lint must flag the join — this is exactly the
+/// insertion rule the paper's step 2 enforces.
+#[test]
+fn unbalanced_branch_program_is_rejected_by_static_lint() {
+    let src = "bne r1, r0, long\n\
+               sdec 0\n\
+               sleep\n\
+               jmp done\n\
+               long: sinc 0\n\
+               sdec 0\n\
+               sdec 0\n\
+               sleep\n\
+               done: halt\n";
+    let program = assemble_text(src).expect("assembles");
+    let diags = syncflow::analyze(&program, &syncflow::SyncFlowConfig::with_sync_points(16));
+    assert!(
+        diags.iter().any(
+            |d| matches!(d, SyncFlowDiag::CounterUnderflow { point: 0, .. })
+                || matches!(d, SyncFlowDiag::UnbalancedBranch { point: 0, .. })
+        ),
+        "{diags:?}"
+    );
+
+    // The same program flagged through the linked image, with section
+    // and core attribution.
+    let mut linker = Linker::new();
+    linker.add_section(Section::new("cond", program));
+    linker.set_entry(0, "cond");
+    let image = linker.link().expect("links");
+    let diags = verify_image(&image, &VerifyConfig::new(16)).expect("decodes");
+    assert!(
+        diags.iter().any(|d| matches!(
+            d,
+            VerifyDiag::Flow { section, cores, .. }
+                if section == "cond" && cores.contains(&0)
+        )),
+        "{diags:?}"
+    );
+}
+
+/// An orphaned SNOP: the consumer registers on a point no producer ever
+/// signals. Without the watchdog the run would end as a (misleading)
+/// quiescent exit; with it, the platform reports a deadlock post-mortem
+/// naming the waiting core — instead of a silent hang on hardware.
+#[test]
+fn orphaned_snop_trips_the_runtime_watchdog() {
+    let producer = assemble_text("li r1, 2\nspin: addi r1, r1, -1\nbne r1, r0, spin\nhalt\n")
+        .expect("assembles");
+    // Consumer waits on point 3, but the producer never touches it.
+    let consumer = assemble_text("snop 3\nsleep\nsw r0, 0x120(r0)\nhalt\n").expect("assembles");
+    let mut linker = Linker::new();
+    linker.add_section(Section::in_bank("producer", producer, 0));
+    linker.add_section(Section::in_bank("consumer", consumer, 1));
+    linker.set_entry(0, "producer");
+    linker.set_entry(1, "consumer");
+    let image = linker.link().expect("links");
+    let mut platform =
+        Platform::new(PlatformConfig::multi_core(), &image).expect("platform builds");
+    platform.set_watchdog(50_000);
+    platform.enable_trace(32, 0xFF);
+
+    let err = platform
+        .run(10_000_000)
+        .expect_err("must not run to a clean exit");
+    let SimError::Watchdog(pm) = err else {
+        panic!("expected a watchdog post-mortem, got {err:?}");
+    };
+    assert_eq!(pm.trip, WatchdogTrip::Deadlock { waiting: vec![1] });
+    let point3 = &pm.points[3];
+    assert!(point3.value.flags().contains(core(1)), "consumer flagged");
+    assert!(
+        !pm.trace_tail.is_empty(),
+        "post-mortem carries the trace tail"
+    );
+    let rendered = pm.to_string();
+    assert!(rendered.contains("deadlock"), "{rendered}");
+    assert!(rendered.contains("core 1"), "{rendered}");
 }
 
 /// The merge rule: several synchronization instructions issued in the

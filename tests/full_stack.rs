@@ -46,12 +46,9 @@ fn every_benchmark_builds_and_runs_on_every_configuration() {
         build_mmd(Arch::SingleCore, &generous(SyncApproach::Hardware)).expect("mmd sc"),
         build_mmd(Arch::MultiCore, &generous(SyncApproach::Hardware)).expect("mmd mc"),
         build_mmd(Arch::MultiCore, &generous(SyncApproach::BusyWait)).expect("mmd bw"),
-        build_rpclass(Arch::SingleCore, &generous(SyncApproach::Hardware), &params)
-            .expect("rp sc"),
-        build_rpclass(Arch::MultiCore, &generous(SyncApproach::Hardware), &params)
-            .expect("rp mc"),
-        build_rpclass(Arch::MultiCore, &generous(SyncApproach::BusyWait), &params)
-            .expect("rp bw"),
+        build_rpclass(Arch::SingleCore, &generous(SyncApproach::Hardware), &params).expect("rp sc"),
+        build_rpclass(Arch::MultiCore, &generous(SyncApproach::Hardware), &params).expect("rp mc"),
+        build_rpclass(Arch::MultiCore, &generous(SyncApproach::BusyWait), &params).expect("rp bw"),
     ];
     for app in &apps {
         let platform = run(app, rec.leads.clone());
@@ -84,8 +81,16 @@ fn hardware_sync_beats_busy_wait_on_active_cycles() {
 fn mapping_methodology_reports_match_the_loaded_images() {
     let params = ClassifierParams::default_trained();
     for (app, cores, banks) in [
-        (build_mf(Arch::MultiCore, &BuildOptions::default()).expect("mf"), 3, 1),
-        (build_mmd(Arch::MultiCore, &BuildOptions::default()).expect("mmd"), 5, 3),
+        (
+            build_mf(Arch::MultiCore, &BuildOptions::default()).expect("mf"),
+            3,
+            1,
+        ),
+        (
+            build_mmd(Arch::MultiCore, &BuildOptions::default()).expect("mmd"),
+            5,
+            3,
+        ),
         (
             build_rpclass(Arch::MultiCore, &BuildOptions::default(), &params).expect("rp"),
             6,

@@ -1,0 +1,99 @@
+//! Static sync-protocol lint over every emitted benchmark variant.
+//!
+//! Every program the generators in `wbsn-kernels` emit must satisfy the
+//! paper's insertion rules: balanced `SINC`/`SDEC` on every control-flow
+//! path, counters inside the 8-bit hardware range, and only allocated
+//! synchronization points. Running the image-level verifier over the
+//! full build matrix pins the emitters to the protocol — an unbalanced
+//! pair introduced in a generator fails here, not as a hang in a
+//! long-running platform test.
+
+use wbsn::core::mapping::verify::{verify_image, VerifyConfig};
+use wbsn::kernels::app::BarrierStyle;
+use wbsn::kernels::{
+    build_mf, build_mmd, build_rpclass, Arch, BuildOptions, BuiltApp, ClassifierParams,
+    SyncApproach,
+};
+
+/// Verifier configuration matching a build's platform wiring: the
+/// platform's point file, with preloaded-barrier directives declared as
+/// auto-reload points.
+fn verify_config(app: &BuiltApp) -> VerifyConfig {
+    let mut config = VerifyConfig::new(app.config.sync_points as u16);
+    config.preloads = app.preloads.iter().map(|&(p, c, _)| (p, c)).collect();
+    config.auto_reload = app.preloads.iter().map(|&(p, _, _)| p).collect();
+    config.require_signaling = app.approach == SyncApproach::Hardware;
+    config
+}
+
+fn assert_lint_clean(app: &BuiltApp, variant: &str) {
+    let diags = verify_image(&app.image, &verify_config(app)).expect("image decodes");
+    assert!(
+        diags.is_empty(),
+        "{} [{variant}] violates the sync protocol:\n{}",
+        app.name,
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+fn option_matrix() -> Vec<(String, BuildOptions)> {
+    let mut out = Vec::new();
+    for approach in [SyncApproach::Hardware, SyncApproach::BusyWait] {
+        for lockstep in [true, false] {
+            for barrier in [BarrierStyle::SincSdec, BarrierStyle::Preloaded] {
+                let options = BuildOptions {
+                    approach,
+                    lockstep,
+                    barrier,
+                    ..BuildOptions::default()
+                };
+                out.push((
+                    format!("{approach:?}/lockstep={lockstep}/{barrier:?}"),
+                    options,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn all_mf_variants_pass_the_static_lint() {
+    assert_lint_clean(
+        &build_mf(Arch::SingleCore, &BuildOptions::default()).expect("builds"),
+        "SingleCore",
+    );
+    for (variant, options) in option_matrix() {
+        let app = build_mf(Arch::MultiCore, &options).expect("builds");
+        assert_lint_clean(&app, &variant);
+    }
+}
+
+#[test]
+fn all_mmd_variants_pass_the_static_lint() {
+    assert_lint_clean(
+        &build_mmd(Arch::SingleCore, &BuildOptions::default()).expect("builds"),
+        "SingleCore",
+    );
+    for (variant, options) in option_matrix() {
+        let app = build_mmd(Arch::MultiCore, &options).expect("builds");
+        assert_lint_clean(&app, &variant);
+    }
+}
+
+#[test]
+fn all_rpclass_variants_pass_the_static_lint() {
+    let params = ClassifierParams::default_trained();
+    assert_lint_clean(
+        &build_rpclass(Arch::SingleCore, &BuildOptions::default(), &params).expect("builds"),
+        "SingleCore",
+    );
+    for (variant, options) in option_matrix() {
+        let app = build_rpclass(Arch::MultiCore, &options, &params).expect("builds");
+        assert_lint_clean(&app, &variant);
+    }
+}

@@ -1,0 +1,138 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach a cargo registry, so the workspace
+//! vendors a small, self-contained property-testing engine exposing the
+//! subset of the `proptest 1.x` surface its tests use:
+//!
+//! * the [`proptest!`] macro with `arg in strategy` bindings,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//! * [`arbitrary::any`] for primitives, integer/float range strategies,
+//!   tuple strategies, [`strategy::Just`], [`prop_oneof!`],
+//!   [`Strategy::prop_map`] and [`Strategy::boxed`],
+//! * [`collection::vec`] and [`collection::btree_set`].
+//!
+//! Inputs are drawn from a deterministic per-test stream (seeded from
+//! the test name) so failures reproduce; there is no shrinking — the
+//! failing inputs are printed instead. Case count defaults to 64 and
+//! can be overridden with `PROPTEST_CASES`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each function runs its body for many
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(stringify!($name), |__wbsn_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __wbsn_rng);)+
+                    let __wbsn_reporter = $crate::test_runner::InputReporter::new({
+                        let mut s = String::new();
+                        $(s.push_str(&format!(
+                            "  {} = {:?}\n",
+                            stringify!($arg),
+                            &$arg
+                        ));)+
+                        s
+                    });
+                    // Bodies may early-out with `return Ok(())`, as with
+                    // upstream proptest; assertion macros panic instead
+                    // of returning `Err`.
+                    let __wbsn_result: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __wbsn_result {
+                        panic!("property rejected: {:?}", e);
+                    }
+                    ::std::mem::drop(__wbsn_reporter);
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            panic!("property assertion failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "property assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "{}\n  left: {:?}\n  right: {:?}",
+                format!($($fmt)+),
+                l,
+                r
+            );
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "property assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!("{}\n  both: {:?}", format!($($fmt)+), l);
+        }
+    }};
+}
+
+/// Chooses uniformly between several strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,93 @@
+//! Deterministic case runner behind the [`proptest!`] macro.
+
+/// Explicit case rejection (bodies may `return Ok(())` to accept early;
+/// returning `Err` fails the property).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(pub String);
+
+/// The word stream inputs are drawn from: splitmix64, seeded per test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next word of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling domain");
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Number of cases per property (`PROPTEST_CASES` overrides).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` for [`case_count`] deterministic inputs.
+pub fn run_cases(name: &str, mut case: impl FnMut(&mut TestRng)) {
+    let mut rng = TestRng::from_seed(seed_for(name));
+    for index in 0..case_count() {
+        let mut case_rng = TestRng::from_seed(rng.next_u64() ^ index as u64);
+        case(&mut case_rng);
+    }
+}
+
+/// Prints the generated inputs when a case panics.
+///
+/// Formatting happens eagerly so the case body stays free to consume
+/// the bound values.
+pub struct InputReporter {
+    rendered: String,
+}
+
+impl InputReporter {
+    /// Wraps the rendered inputs of the current case.
+    pub fn new(rendered: String) -> InputReporter {
+        InputReporter { rendered }
+    }
+}
+
+impl Drop for InputReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("proptest case inputs:\n{}", self.rendered);
+        }
+    }
+}
