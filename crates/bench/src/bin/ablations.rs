@@ -14,8 +14,9 @@
 //! Usage: `cargo run --release -p wbsn-bench --bin ablations`
 //! (`WBSN_DURATION_S` overrides the observation window.)
 
-use wbsn_bench::experiment::measure_at_clock;
-use wbsn_bench::{measure, BenchmarkId, ExperimentConfig, Measurement, RunVariant};
+use wbsn_bench::{
+    run_sweep, BenchmarkId, ExperimentConfig, Measurement, RunVariant, SweepCell, SweepOptions,
+};
 use wbsn_kernels::ClassifierParams;
 
 fn main() {
@@ -28,77 +29,85 @@ fn main() {
         ..ExperimentConfig::default()
     };
     let params = ClassifierParams::default_trained();
+    let options = SweepOptions::default();
     eprintln!("# Ablations on 3L-MF (the broadcast-heaviest benchmark), {duration_s} s simulated");
 
-    let sc = measure(BenchmarkId::Mf, RunVariant::SingleCore, &base, &params).expect("SC baseline");
-    let full =
-        measure(BenchmarkId::Mf, RunVariant::MultiCoreSync, &base, &params).expect("full approach");
-    let no_broadcast = measure(
-        BenchmarkId::Mf,
-        RunVariant::MultiCoreSync,
-        &ExperimentConfig {
-            disable_broadcast: true,
-            ..base.clone()
-        },
+    // Phase 1: every cell that searches its own minimum clock.
+    let mc = RunVariant::MultiCoreSync;
+    let cells = vec![
+        SweepCell::new(BenchmarkId::Mf, RunVariant::SingleCore, base.clone()),
+        SweepCell::new(BenchmarkId::Mf, mc, base.clone()),
+        SweepCell::new(
+            BenchmarkId::Mf,
+            mc,
+            ExperimentConfig {
+                disable_broadcast: true,
+                ..base.clone()
+            },
+        ),
+        SweepCell::new(
+            BenchmarkId::Mf,
+            mc,
+            ExperimentConfig {
+                disable_lockstep: true,
+                ..base.clone()
+            },
+        ),
+        SweepCell::new(
+            BenchmarkId::Mf,
+            mc,
+            ExperimentConfig {
+                preloaded_barrier: true,
+                ..base.clone()
+            },
+        ),
+        SweepCell::new(BenchmarkId::Mf, RunVariant::MultiCoreBusyWait, base.clone()),
+    ];
+    let mut report = run_sweep(cells, &params, &options);
+    let sc_clock_hz = report.expect_all()[0].clock_hz;
+
+    // Phase 2: the VFS ablation runs at the baseline's clock, which
+    // phase 1 just determined.
+    let no_vfs_report = run_sweep(
+        vec![SweepCell::pinned(BenchmarkId::Mf, mc, base, sc_clock_hz)],
         &params,
-    )
-    .expect("broadcast ablation");
-    let no_lockstep = measure(
-        BenchmarkId::Mf,
-        RunVariant::MultiCoreSync,
-        &ExperimentConfig {
-            disable_lockstep: true,
-            ..base.clone()
-        },
-        &params,
-    )
-    .expect("lock-step ablation");
-    let preloaded = measure(
-        BenchmarkId::Mf,
-        RunVariant::MultiCoreSync,
-        &ExperimentConfig {
-            preloaded_barrier: true,
-            ..base.clone()
-        },
-        &params,
-    )
-    .expect("preloaded barrier");
-    let no_vfs = measure_at_clock(
-        BenchmarkId::Mf,
-        RunVariant::MultiCoreSync,
-        &base,
-        &params,
-        sc.clock_hz,
-    )
-    .expect("VFS ablation");
-    let busy = measure(
-        BenchmarkId::Mf,
-        RunVariant::MultiCoreBusyWait,
-        &base,
-        &params,
-    )
-    .expect("busy wait");
+        &options,
+    );
 
     println!(
         "{:<26} {:>9} {:>7} {:>11} {:>11} {:>12}",
         "configuration", "f (MHz)", "V", "IM bcast %", "power (uW)", "vs SC"
     );
-    let row = |label: &str, m: &Measurement| {
-        println!(
-            "{:<26} {:>9.2} {:>7.1} {:>11.2} {:>11.2} {:>11.1}%",
-            label,
-            m.clock_hz / 1e6,
-            m.voltage,
-            m.im_broadcast_percent,
-            m.power_uw(),
-            100.0 * (1.0 - m.power_uw() / sc.power_uw())
-        );
-    };
-    row("SC baseline", &sc);
-    row("MC full approach", &full);
-    row("MC - no broadcast", &no_broadcast);
-    row("MC - no lock-step barrier", &no_lockstep);
-    row("MC - preloaded barrier", &preloaded);
-    row("MC - no VFS (SC's V/f)", &no_vfs);
-    row("MC - busy wait", &busy);
+    {
+        let searched = report.expect_all();
+        let sc = searched[0];
+        let labelled = [
+            ("SC baseline", searched[0]),
+            ("MC full approach", searched[1]),
+            ("MC - no broadcast", searched[2]),
+            ("MC - no lock-step barrier", searched[3]),
+            ("MC - preloaded barrier", searched[4]),
+            ("MC - no VFS (SC's V/f)", no_vfs_report.expect_all()[0]),
+            ("MC - busy wait", searched[5]),
+        ];
+        let row = |label: &str, m: &Measurement| {
+            println!(
+                "{:<26} {:>9.2} {:>7.1} {:>11.2} {:>11.2} {:>11.1}%",
+                label,
+                m.clock_hz / 1e6,
+                m.voltage,
+                m.im_broadcast_percent,
+                m.power_uw(),
+                100.0 * (1.0 - m.power_uw() / sc.power_uw())
+            );
+        };
+        for (label, m) in labelled {
+            row(label, m);
+        }
+    }
+
+    report.merge(no_vfs_report);
+    report
+        .write_json("BENCH_sweep.json")
+        .expect("writing the sweep record");
 }

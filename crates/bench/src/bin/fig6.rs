@@ -8,7 +8,7 @@
 //! * `WBSN_DURATION_S` — observation window (default 60 s).
 //! * `WBSN_NO_BROADCAST=1` — ablation: disable crossbar broadcasting.
 
-use wbsn_bench::{measure, BenchmarkId, ExperimentConfig, RunVariant};
+use wbsn_bench::{run_sweep, BenchmarkId, ExperimentConfig, RunVariant, SweepCell, SweepOptions};
 use wbsn_kernels::ClassifierParams;
 
 fn main() {
@@ -36,14 +36,22 @@ fn main() {
         RunVariant::MultiCoreBusyWait,
         RunVariant::MultiCoreSync,
     ];
+    // One sweep grid: benchmark-major, variant-minor — the print order.
+    let cells: Vec<SweepCell> = BenchmarkId::ALL
+        .into_iter()
+        .flat_map(|benchmark| {
+            variants.map(|variant| SweepCell::new(benchmark, variant, config.clone()))
+        })
+        .collect();
+    let report = run_sweep(cells, &params, &SweepOptions::default());
+    let mut measurements = report.expect_all().into_iter();
     println!(
         "{:<10} {:<14} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "benchmark", "config", "cores", "prog mem", "data mem", "intercon", "clock", "total"
     );
     for benchmark in BenchmarkId::ALL {
         for variant in variants {
-            let m = measure(benchmark, variant, &config, &params)
-                .unwrap_or_else(|e| panic!("{} {} failed: {e}", benchmark.name(), variant.label()));
+            let m = measurements.next().expect("one measurement per cell");
             let b = &m.breakdown;
             println!(
                 "{:<10} {:<14} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
@@ -59,4 +67,8 @@ fn main() {
         }
         println!();
     }
+
+    report
+        .write_json("BENCH_sweep.json")
+        .expect("writing the sweep record");
 }

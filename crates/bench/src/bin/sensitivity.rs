@@ -9,7 +9,7 @@
 //!
 //! Usage: `cargo run --release -p wbsn-bench --bin sensitivity`
 
-use wbsn_bench::{measure, BenchmarkId, ExperimentConfig, RunVariant};
+use wbsn_bench::{run_sweep, BenchmarkId, ExperimentConfig, RunVariant, SweepCell, SweepOptions};
 use wbsn_kernels::ClassifierParams;
 use wbsn_power::{EnergyTable, PowerModel};
 
@@ -27,10 +27,16 @@ fn main() {
         config.duration_s
     );
 
-    let sc =
-        measure(BenchmarkId::Mf, RunVariant::SingleCore, &config, &params).expect("SC measures");
-    let mc =
-        measure(BenchmarkId::Mf, RunVariant::MultiCoreSync, &config, &params).expect("MC measures");
+    let report = run_sweep(
+        vec![
+            SweepCell::new(BenchmarkId::Mf, RunVariant::SingleCore, config.clone()),
+            SweepCell::new(BenchmarkId::Mf, RunVariant::MultiCoreSync, config.clone()),
+        ],
+        &params,
+        &SweepOptions::default(),
+    );
+    let points = report.expect_all();
+    let (sc, mc) = (points[0], points[1]);
     let nominal = 100.0 * (1.0 - mc.power_uw() / sc.power_uw());
     println!(
         "{:<26} {:>10} {:>10} {:>10}",
@@ -68,4 +74,8 @@ fn main() {
     println!();
     println!("the multi-core saving stays positive across every perturbation — the");
     println!("conclusion does not hinge on any single characterization constant.");
+
+    report
+        .write_json("BENCH_sweep.json")
+        .expect("writing the sweep record");
 }

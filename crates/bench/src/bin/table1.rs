@@ -5,7 +5,9 @@
 //! Usage: `cargo run --release -p wbsn-bench --bin table1`
 //! (set `WBSN_DURATION_S` to override the 60 s observation window).
 
-use wbsn_bench::{measure, BenchmarkId, ExperimentConfig, Measurement, RunVariant};
+use wbsn_bench::{
+    run_sweep, BenchmarkId, ExperimentConfig, Measurement, RunVariant, SweepCell, SweepOptions,
+};
 use wbsn_kernels::ClassifierParams;
 
 fn duration_from_env() -> f64 {
@@ -28,14 +30,21 @@ fn main() {
         (config.pathological_fraction * 100.0).round()
     );
 
-    let mut columns: Vec<(BenchmarkId, Measurement, Measurement)> = Vec::new();
-    for benchmark in BenchmarkId::ALL {
-        let sc = measure(benchmark, RunVariant::SingleCore, &config, &params)
-            .unwrap_or_else(|e| panic!("{} SC failed: {e}", benchmark.name()));
-        let mc = measure(benchmark, RunVariant::MultiCoreSync, &config, &params)
-            .unwrap_or_else(|e| panic!("{} MC failed: {e}", benchmark.name()));
-        columns.push((benchmark, sc, mc));
-    }
+    // One sweep grid: (benchmark × {SC, MC}) in Table I order.
+    let cells: Vec<SweepCell> = BenchmarkId::ALL
+        .into_iter()
+        .flat_map(|benchmark| {
+            [RunVariant::SingleCore, RunVariant::MultiCoreSync]
+                .map(|variant| SweepCell::new(benchmark, variant, config.clone()))
+        })
+        .collect();
+    let report = run_sweep(cells, &params, &SweepOptions::default());
+    let measurements = report.expect_all();
+    let columns: Vec<(BenchmarkId, &Measurement, &Measurement)> = BenchmarkId::ALL
+        .into_iter()
+        .zip(measurements.chunks_exact(2))
+        .map(|(benchmark, pair)| (benchmark, pair[0], pair[1]))
+        .collect();
 
     let dash = "-".to_string();
     let header: Vec<String> = columns
@@ -104,4 +113,8 @@ fn main() {
         print!("{:>12}{:>12}", "", format!("{saving:.1} %"));
     }
     println!();
+
+    report
+        .write_json("BENCH_sweep.json")
+        .expect("writing the sweep record");
 }

@@ -16,6 +16,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use wbsn_dsp::ecg::{synthesize, EcgConfig, EcgRecording};
 use wbsn_kernels::{
@@ -24,6 +25,8 @@ use wbsn_kernels::{
 };
 use wbsn_power::{Activity, Interconnect, OperatingPoint, PowerBreakdown, PowerModel, VfsTable};
 use wbsn_sim::{Platform, SimError, SimStats};
+
+use crate::cache::BuildCache;
 
 /// Which benchmark to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -271,16 +274,18 @@ fn recording(config: &ExperimentConfig, seconds: f64) -> EcgRecording {
     })
 }
 
-fn build(
+/// Builds one benchmark for one architecture — the single entry point
+/// the [`BuildCache`](crate::cache::BuildCache) deduplicates.
+pub(crate) fn build_app(
     benchmark: BenchmarkId,
-    variant: RunVariant,
+    arch: Arch,
     options: &BuildOptions,
     params: &ClassifierParams,
 ) -> Result<BuiltApp, BuildError> {
     match benchmark {
-        BenchmarkId::Mf => build_mf(variant.arch(), options),
-        BenchmarkId::Mmd => build_mmd(variant.arch(), options),
-        BenchmarkId::RpClass => build_rpclass(variant.arch(), options, params),
+        BenchmarkId::Mf => build_mf(arch, options),
+        BenchmarkId::Mmd => build_mmd(arch, options),
+        BenchmarkId::RpClass => build_rpclass(arch, options, params),
     }
 }
 
@@ -306,6 +311,24 @@ pub fn measure(
     config: &ExperimentConfig,
     params: &ClassifierParams,
 ) -> Result<Measurement, MeasureError> {
+    measure_cached(benchmark, variant, config, params, &BuildCache::new())
+}
+
+/// [`measure`] with a shared [`BuildCache`]: sweep grids route every
+/// cell through one cache so repeated `(benchmark, arch, options)`
+/// builds are linked once (see the cache module docs for why this can
+/// never change a measurement).
+///
+/// # Errors
+///
+/// Same conditions as [`measure`].
+pub fn measure_cached(
+    benchmark: BenchmarkId,
+    variant: RunVariant,
+    config: &ExperimentConfig,
+    params: &ClassifierParams,
+    cache: &BuildCache,
+) -> Result<Measurement, MeasureError> {
     let vfs = VfsTable::ninety_nm_low_leakage();
     let model = PowerModel::default();
     let interconnect = variant.interconnect();
@@ -320,7 +343,7 @@ pub fn measure(
         barrier: barrier_style(config),
         adc_period_cycles: calib_period,
     };
-    let app = build(benchmark, variant, &options, params)?;
+    let app = cache.get_or_build(benchmark, variant.arch(), &options, params)?;
     let calib = recording(config, config.calibration_s.min(config.duration_s));
     let platform = run_window(&app, calib.leads.clone(), calib_period)?;
     let stats = platform.stats();
@@ -344,6 +367,7 @@ pub fn measure(
     // real-time constraints" criterion (work may pipeline across
     // sampling periods thanks to the data registers and buffering, so
     // worst-window heuristics alone are too conservative).
+    let mut feasible_run: Option<(u64, Arc<BuiltApp>, Platform)> = None;
     for _ in 0..24 {
         let period = (required_hz / config.fs as f64).round() as u64;
         let options = BuildOptions {
@@ -353,9 +377,10 @@ pub fn measure(
             barrier: barrier_style(config),
             adc_period_cycles: period,
         };
-        let app = build(benchmark, variant, &options, params)?;
+        let app = cache.get_or_build(benchmark, variant.arch(), &options, params)?;
         let platform = run_window(&app, calib.leads.clone(), period)?;
         if platform.adc_overruns() == 0 {
+            feasible_run = Some((period, app, platform));
             break;
         }
         required_hz *= 1.15;
@@ -364,20 +389,34 @@ pub fn measure(
     // 3. Measurement runs; bump the clock on residual overruns (the
     // calibration slice may have missed the worst window).
     let full = recording(config, config.duration_s);
+    // When the observation window fits inside the calibration slice the
+    // recordings are identical, so the successful feasibility run IS the
+    // measurement run (the simulator is deterministic): reuse it instead
+    // of stepping the same window twice.
+    let mut cached = match feasible_run {
+        Some(run) if calib.leads == full.leads => Some(run),
+        _ => None,
+    };
     for _attempt in 0..6 {
         let op: OperatingPoint = vfs
             .min_point_for(required_hz, interconnect)
             .ok_or(MeasureError::Infeasible { required_hz })?;
         let period = (required_hz / config.fs as f64).round() as u64;
-        let options = BuildOptions {
-            approach: variant.approach(),
-            broadcast: !config.disable_broadcast,
-            lockstep: !config.disable_lockstep,
-            barrier: barrier_style(config),
-            adc_period_cycles: period,
+        let (app, platform) = match cached.take() {
+            Some((p, app, platform)) if p == period => (app, platform),
+            _ => {
+                let options = BuildOptions {
+                    approach: variant.approach(),
+                    broadcast: !config.disable_broadcast,
+                    lockstep: !config.disable_lockstep,
+                    barrier: barrier_style(config),
+                    adc_period_cycles: period,
+                };
+                let app = cache.get_or_build(benchmark, variant.arch(), &options, params)?;
+                let platform = run_window(&app, full.leads.clone(), period)?;
+                (app, platform)
+            }
         };
-        let app = build(benchmark, variant, &options, params)?;
-        let platform = run_window(&app, full.leads.clone(), period)?;
         if platform.adc_overruns() > 0 {
             required_hz *= 1.15;
             continue;
@@ -420,6 +459,30 @@ pub fn measure_at_clock(
     params: &ClassifierParams,
     clock_hz: f64,
 ) -> Result<Measurement, MeasureError> {
+    measure_at_clock_cached(
+        benchmark,
+        variant,
+        config,
+        params,
+        clock_hz,
+        &BuildCache::new(),
+    )
+}
+
+/// [`measure_at_clock`] with a shared [`BuildCache`] (the sweep-grid
+/// entry point, like [`measure_cached`]).
+///
+/// # Errors
+///
+/// Same conditions as [`measure`].
+pub fn measure_at_clock_cached(
+    benchmark: BenchmarkId,
+    variant: RunVariant,
+    config: &ExperimentConfig,
+    params: &ClassifierParams,
+    clock_hz: f64,
+    cache: &BuildCache,
+) -> Result<Measurement, MeasureError> {
     let vfs = VfsTable::ninety_nm_low_leakage();
     let model = PowerModel::default();
     let op =
@@ -435,7 +498,7 @@ pub fn measure_at_clock(
         barrier: barrier_style(config),
         adc_period_cycles: period,
     };
-    let app = build(benchmark, variant, &options, params)?;
+    let app = cache.get_or_build(benchmark, variant.arch(), &options, params)?;
     let full = recording(config, config.duration_s);
     let platform = run_window(&app, full.leads.clone(), period)?;
     if platform.adc_overruns() > 0 {

@@ -300,7 +300,19 @@ impl Synchronizer {
     /// Returns a counter range error when the merged update of some point
     /// is inconsistent; staged state is cleared regardless so the caller
     /// can treat the error as a detected protocol violation and stop.
+    #[inline]
     pub fn commit(&mut self) -> Result<SyncOutcome, SyncError> {
+        // Fast path: nothing was staged this cycle — the overwhelmingly
+        // common case in the simulator's cycle loop. Skips the merge
+        // scratch, whose initialization would dominate idle cycles.
+        // Inlined so the caller's cycle loop pays only the three checks.
+        if self.staged_ops.is_empty() && self.staged_sleeps.is_empty() && self.staged_irqs == 0 {
+            return Ok(SyncOutcome::default());
+        }
+        self.commit_staged()
+    }
+
+    fn commit_staged(&mut self) -> Result<SyncOutcome, SyncError> {
         let ops = std::mem::take(&mut self.staged_ops);
         let sleeps = std::mem::take(&mut self.staged_sleeps);
         let irqs = std::mem::take(&mut self.staged_irqs);

@@ -29,6 +29,7 @@
 
 pub mod asm;
 pub mod builder;
+pub mod decoded;
 pub mod disasm;
 pub mod error;
 pub mod image;
@@ -42,6 +43,7 @@ pub mod syncflow;
 
 pub use asm::assemble_text;
 pub use builder::ProgramBuilder;
+pub use decoded::{DecodedImage, DecodedInstr, MemClass};
 pub use error::{DecodeError, EncodeError, IsaError, LinkError, ParseAsmError};
 pub use image::ImageFormatError;
 pub use instr::{AluImmOp, AluOp, BranchCond, Instr, SyncKind, MAX_SYNC_POINT};

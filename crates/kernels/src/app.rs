@@ -10,7 +10,7 @@ use wbsn_sim::{Platform, PlatformConfig, SimError};
 use crate::layout::{SHARED_WORDS, SYNC_BASE, SYNC_POINTS};
 
 /// Which architecture a build targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Arch {
     /// The single-core baseline (decoders, flat memory).
     SingleCore,
@@ -19,7 +19,7 @@ pub enum Arch {
 }
 
 /// How the multi-core build synchronizes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SyncApproach {
     /// The paper's HW/SW approach: sync points + clock gating.
     Hardware,
@@ -28,7 +28,7 @@ pub enum SyncApproach {
 }
 
 /// How lock-step barriers are realized (extension, DESIGN.md §5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BarrierStyle {
     /// The paper's protocol: `SINC` on entry, `SDEC` + `SLEEP` on exit.
     SincSdec,
@@ -39,7 +39,7 @@ pub enum BarrierStyle {
 }
 
 /// Build-time options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BuildOptions {
     /// Synchronization style of multi-core builds.
     pub approach: SyncApproach,

@@ -100,13 +100,19 @@ impl Adc {
 
     /// Advances to `cycle`; latches new samples and returns the raised
     /// interrupt-source mask (bit per channel), or 0.
+    #[inline]
     pub fn tick(&mut self, cycle: u64) -> u16 {
-        let Some(next) = self.next_tick else {
-            return 0;
-        };
-        if cycle < next {
-            return 0;
+        // Inlined fast path: between samples (the overwhelmingly common
+        // case) this is two compares in the caller's cycle loop.
+        match self.next_tick {
+            Some(next) if cycle >= next => self.latch(next),
+            _ => 0,
         }
+    }
+
+    /// Latches the sample due at `next`; returns the raised
+    /// interrupt-source mask.
+    fn latch(&mut self, next: u64) -> u16 {
         let total = self.samples_total();
         if self.position >= total {
             self.next_tick = None;

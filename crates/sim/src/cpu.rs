@@ -122,6 +122,17 @@ impl Core {
         }
     }
 
+    /// Mask form of [`Core::has_load_use_hazard`], for predecoded
+    /// instructions: `src_mask` has bit `i` set when register `r<i>` is
+    /// a source operand (see [`wbsn_isa::DecodedInstr::src_mask`]).
+    #[inline]
+    pub fn has_load_use_hazard_mask(&self, src_mask: u8) -> bool {
+        match self.hazard {
+            Some(dest) => src_mask & (1 << dest.index()) != 0,
+            None => false,
+        }
+    }
+
     /// Clears the hazard latch (the stall was charged).
     pub fn clear_hazard(&mut self) {
         self.hazard = None;
@@ -322,6 +333,12 @@ mod tests {
         assert_eq!(c.reg(Reg::R1), 99);
         assert!(c.has_load_use_hazard(&Instr::add(Reg::R2, Reg::R1, Reg::R0)));
         assert!(!c.has_load_use_hazard(&Instr::add(Reg::R2, Reg::R3, Reg::R4)));
+        // The mask form agrees with the register form.
+        use wbsn_isa::DecodedInstr;
+        let dep = DecodedInstr::new(Instr::add(Reg::R2, Reg::R1, Reg::R0));
+        let indep = DecodedInstr::new(Instr::add(Reg::R2, Reg::R3, Reg::R4));
+        assert!(c.has_load_use_hazard_mask(dep.src_mask));
+        assert!(!c.has_load_use_hazard_mask(indep.src_mask));
         // A non-dependent retire clears the latch.
         c.retire(Instr::Nop, None);
         assert!(!c.has_load_use_hazard(&Instr::add(Reg::R2, Reg::R1, Reg::R0)));

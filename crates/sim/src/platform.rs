@@ -2,7 +2,7 @@
 //! wired together by a cycle-accurate event loop.
 
 use wbsn_core::{CoreId, Synchronizer};
-use wbsn_isa::{Instr, LinkedImage, IM_WORDS};
+use wbsn_isa::{DecodedImage, DecodedInstr, Instr, LinkedImage, MemClass, IM_WORDS};
 
 use crate::adc::Adc;
 use crate::atu::{Atu, DmTarget};
@@ -14,7 +14,7 @@ use crate::mmio::MmioReg;
 use crate::stats::SimStats;
 use crate::trace::{TraceEvent, Tracer};
 use crate::watchdog::{CoreDump, PointDump, PostMortem, WatchdogTrip};
-use crate::xbar::{arbitrate, Grant, Request};
+use crate::xbar::{arbitrate_into, Grant, Request};
 
 /// Why a [`Platform::run`] call returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,13 +47,33 @@ pub enum RunExit {
 #[derive(Debug)]
 struct Slot {
     core: Core,
-    /// Fetched instruction waiting to execute (set while stalled on
-    /// hazards or data-memory arbitration).
-    held: Option<Instr>,
+    /// Fetched (predecoded) instruction waiting to execute (set while
+    /// stalled on hazards or data-memory arbitration).
+    held: Option<DecodedInstr>,
     /// The next cycle is a taken-branch fetch bubble.
     bubble: bool,
     /// The core participates in the workload (an entry point was linked).
     present: bool,
+}
+
+/// What a held instruction resolved to this cycle.
+#[derive(Debug, Clone, Copy)]
+enum Ready {
+    NoMem,
+    Load(u16),
+    Store,
+}
+
+/// Per-cycle work buffers, reused across [`Platform::step`] calls so the
+/// hot loop performs no heap allocation once warmed up.
+#[derive(Debug, Default)]
+struct StepScratch {
+    fetch_reqs: Vec<Request>,
+    fetch_grants: Vec<Grant>,
+    ready: Vec<(usize, Ready)>,
+    dm_reqs: Vec<Request>,
+    dm_meta: Vec<(usize, DmTarget, Option<u16>)>,
+    dm_grants: Vec<Grant>,
 }
 
 /// The simulated WBSN platform.
@@ -65,9 +85,14 @@ pub struct Platform {
     config: PlatformConfig,
     atu: Atu,
     im: InstrMemory,
-    decoded: Vec<Option<Instr>>,
+    decoded: DecodedImage,
     dm: DataMemory,
     slots: Vec<Slot>,
+    scratch: StepScratch,
+    /// Re-decode the binary word on every fetch instead of using the
+    /// predecoded image — the differential oracle for the fast path.
+    #[cfg(any(test, feature = "slow-decode"))]
+    slow_decode: bool,
     synchronizer: Synchronizer,
     adc: Adc,
     stats: SimStats,
@@ -82,6 +107,17 @@ pub struct Platform {
     last_progress_cycle: u64,
     /// Total retired instructions at the last progress observation.
     last_instr_total: u64,
+    /// Number of present cores (fixed at construction).
+    live_count: usize,
+    /// Present cores that have executed `HALT` (halting is sticky).
+    halted_count: usize,
+    /// Running total of retired instructions across all cores, kept
+    /// incrementally so the watchdog check is O(1) per cycle.
+    instr_retired: u64,
+    /// The platform may have just become fully idle: set when a core
+    /// sleeps or halts, cleared when an idleness check fails. Lets the
+    /// run loop skip the per-cycle idleness scan in the common case.
+    idle_candidate: bool,
 }
 
 impl Platform {
@@ -106,11 +142,7 @@ impl Platform {
             flat,
         );
         let im = InstrMemory::from_image(image.im_words());
-        let decoded = image
-            .im_words()
-            .iter()
-            .map(|&w| Instr::decode(w).ok())
-            .collect();
+        let decoded = DecodedImage::from_words(image.im_words());
         let mut dm = DataMemory::new();
         for (addr, word) in image.dm_init() {
             match atu.translate(0, addr) {
@@ -146,6 +178,9 @@ impl Platform {
             .collect();
         let adc = Adc::new(config.adc, Vec::new());
         let stats = SimStats::new(config.cores);
+        let live_count = (0..config.cores)
+            .filter(|&id| image.entry(id).is_some())
+            .count();
         Ok(Platform {
             config,
             atu,
@@ -153,6 +188,9 @@ impl Platform {
             decoded,
             dm,
             slots,
+            scratch: StepScratch::default(),
+            #[cfg(any(test, feature = "slow-decode"))]
+            slow_decode: false,
             synchronizer,
             adc,
             stats,
@@ -163,6 +201,11 @@ impl Platform {
             watchdog: None,
             last_progress_cycle: 0,
             last_instr_total: 0,
+            live_count,
+            halted_count: 0,
+            instr_retired: 0,
+            // Checked (and cleared if false) on the first loop iteration.
+            idle_candidate: true,
         })
     }
 
@@ -206,6 +249,19 @@ impl Platform {
             .map_err(SimError::from)
     }
 
+    /// Switches instruction fetch to the legacy decode-per-cycle path:
+    /// every fetch re-decodes the 24-bit word from the instruction
+    /// memory instead of using the image predecoded at load time.
+    ///
+    /// This is the differential oracle for the predecoded fast path —
+    /// architectural state, statistics and traces must be identical
+    /// either way. Only available in tests and under the `slow-decode`
+    /// feature; production builds always use the fast path.
+    #[cfg(any(test, feature = "slow-decode"))]
+    pub fn set_slow_decode(&mut self, slow: bool) {
+        self.slow_decode = slow;
+    }
+
     /// Enables retirement tracing: the last `capacity` retirements of
     /// the cores selected by `core_mask` (bit per core) are kept in a
     /// ring readable through [`Platform::trace`].
@@ -246,11 +302,7 @@ impl Platform {
     pub fn set_watchdog(&mut self, stall_cycles: u64) {
         self.watchdog = Some(stall_cycles.max(1));
         self.last_progress_cycle = self.stats.cycles;
-        self.last_instr_total = self.total_instructions();
-    }
-
-    fn total_instructions(&self) -> u64 {
-        self.stats.cores.iter().map(|c| c.instructions).sum()
+        self.last_instr_total = self.instr_retired;
     }
 
     /// Present, unhalted, gated cores that are flagged in at least one
@@ -421,7 +473,8 @@ impl Platform {
     /// Returns the first fault or synchronization protocol violation.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunExit, SimError> {
         while self.stats.cycles < max_cycles {
-            if self.all_halted() {
+            if self.halted_count == self.live_count {
+                debug_assert!(self.all_halted());
                 return Ok(RunExit::AllHalted);
             }
             if !self.breakpoints.is_empty() {
@@ -439,7 +492,13 @@ impl Platform {
                     }
                 }
             }
-            if self.all_idle() {
+            // Idleness can only begin on a cycle in which a core slept or
+            // halted; `idle_candidate` tracks that so the scan is skipped
+            // while cores are running.
+            if self.idle_candidate && !self.all_idle() {
+                self.idle_candidate = false;
+            }
+            if self.idle_candidate {
                 match self.adc.next_tick() {
                     Some(tick) if tick < max_cycles => {
                         let now = self.stats.cycles;
@@ -474,7 +533,7 @@ impl Platform {
                 return Ok(RunExit::Watchpoint { core, addr });
             }
             if let Some(budget) = self.watchdog {
-                let instr_total = self.total_instructions();
+                let instr_total = self.instr_retired;
                 if instr_total != self.last_instr_total {
                     self.last_instr_total = instr_total;
                     self.last_progress_cycle = self.stats.cycles;
@@ -521,9 +580,11 @@ impl Platform {
     ///
     /// Returns the first fault or synchronization protocol violation.
     pub fn step(&mut self) -> Result<(), SimError> {
+        if self.slots.len() == 1 {
+            return self.step_one();
+        }
         let cycle = self.stats.cycles;
         let crossbar = self.config.interconnect == InterconnectKind::Crossbar;
-
         // 1. ADC sampling and interrupt forwarding.
         let irq_mask = self.adc.tick(cycle);
         if irq_mask != 0 {
@@ -538,11 +599,13 @@ impl Platform {
                 cs.max_window_active = cs.max_window_active.max(cs.window_active);
                 cs.window_active = 0;
             }
+            // Overruns only advance when a sample latches, so the
+            // snapshot is refreshed here rather than every cycle.
+            self.stats.adc_overruns = self.adc.overruns();
         }
 
         // 2. Cycle accounting and fetch requests.
-        let mut fetch_reqs: Vec<Request> = Vec::new();
-        let mut fetch_slots: Vec<usize> = Vec::new();
+        self.scratch.fetch_reqs.clear();
         for (idx, slot) in self.slots.iter_mut().enumerate() {
             if !slot.present || slot.core.is_halted() {
                 continue;
@@ -572,35 +635,44 @@ impl Platform {
                 }
                 .into());
             }
-            fetch_reqs.push(Request {
+            self.scratch.fetch_reqs.push(Request {
                 core: idx,
                 bank: InstrMemory::bank_of(pc),
                 addr: pc,
                 write: false,
             });
-            fetch_slots.push(idx);
         }
 
         // 3. Instruction-side arbitration (a decoder never conflicts).
-        let grants = if crossbar {
-            arbitrate(&fetch_reqs, cycle as usize, self.config.broadcast)
+        if crossbar {
+            arbitrate_into(
+                &self.scratch.fetch_reqs,
+                cycle as usize,
+                self.config.broadcast,
+                &mut self.scratch.fetch_grants,
+            );
         } else {
-            vec![Grant::Access; fetch_reqs.len()]
-        };
-        for (req_idx, grant) in grants.iter().enumerate() {
-            let slot_idx = fetch_slots[req_idx];
-            let pc = fetch_reqs[req_idx].addr;
+            self.scratch.fetch_grants.clear();
+            self.scratch
+                .fetch_grants
+                .resize(self.scratch.fetch_reqs.len(), Grant::Access);
+        }
+        for req_idx in 0..self.scratch.fetch_grants.len() {
+            let grant = self.scratch.fetch_grants[req_idx];
+            let slot_idx = self.scratch.fetch_reqs[req_idx].core;
+            let pc = self.scratch.fetch_reqs[req_idx].addr;
             match grant {
                 Grant::Access | Grant::Broadcast => {
-                    if *grant == Grant::Access {
-                        self.stats.im.reads[fetch_reqs[req_idx].bank] += 1;
+                    if grant == Grant::Access {
+                        self.stats.im.reads[self.scratch.fetch_reqs[req_idx].bank] += 1;
                     } else {
                         self.stats.im.broadcasts += 1;
                     }
                     if crossbar {
                         self.stats.xbar_im += 1;
                     }
-                    let instr = self.decoded[pc as usize].ok_or(SimError::Fault(Fault {
+                    let decoded = self.fetch_decoded(pc);
+                    let instr = decoded.ok_or(SimError::Fault(Fault {
                         core: slot_idx,
                         pc,
                         addr: pc,
@@ -617,91 +689,97 @@ impl Platform {
         }
 
         // 4. Hazards and memory intents for every held instruction.
-        #[derive(Clone, Copy)]
-        enum Ready {
-            NoMem,
-            Load(u16),
-            Store,
-        }
-        let mut ready: Vec<(usize, Ready)> = Vec::new();
-        let mut dm_reqs: Vec<Request> = Vec::new();
-        let mut dm_meta: Vec<(usize, DmTarget, Option<u16>)> = Vec::new();
+        self.scratch.ready.clear();
+        self.scratch.dm_reqs.clear();
+        self.scratch.dm_meta.clear();
         for idx in 0..self.slots.len() {
             let slot = &mut self.slots[idx];
             if !slot.present || slot.core.is_halted() || slot.core.is_gated() || slot.bubble {
                 continue;
             }
-            let Some(instr) = slot.held else { continue };
-            if slot.core.has_load_use_hazard(&instr) {
+            let Some(decoded) = slot.held else { continue };
+            if slot.core.has_load_use_hazard_mask(decoded.src_mask) {
                 slot.core.clear_hazard();
                 self.stats.cores[idx].stall_hazard += 1;
                 continue;
             }
-            match slot.core.mem_intent(&instr) {
-                None => ready.push((idx, Ready::NoMem)),
-                Some(intent) => {
-                    let (addr, store) = match intent {
-                        MemIntent::Load { addr } => (addr, None),
-                        MemIntent::Store { addr, value } => (addr, Some(value)),
-                    };
-                    let target = self.atu.translate(idx, addr).map_err(|kind| -> SimError {
-                        Fault {
+            if decoded.mem == MemClass::None {
+                self.scratch.ready.push((idx, Ready::NoMem));
+                continue;
+            }
+            let intent = slot
+                .core
+                .mem_intent(&decoded.instr)
+                .expect("memory class implies an intent");
+            let (addr, store) = match intent {
+                MemIntent::Load { addr } => (addr, None),
+                MemIntent::Store { addr, value } => (addr, Some(value)),
+            };
+            let target = self.atu.translate(idx, addr).map_err(|kind| -> SimError {
+                Fault {
+                    core: idx,
+                    pc: slot.core.pc(),
+                    addr,
+                    kind,
+                }
+                .into()
+            })?;
+            match target {
+                DmTarget::Memory { location, .. } => {
+                    self.scratch.dm_reqs.push(Request {
+                        core: idx,
+                        bank: location.bank,
+                        addr,
+                        write: store.is_some(),
+                    });
+                    self.scratch.dm_meta.push((idx, target, store));
+                }
+                DmTarget::SyncPoint(point) => {
+                    if store.is_some() {
+                        return Err(Fault {
                             core: idx,
                             pc: slot.core.pc(),
                             addr,
-                            kind,
+                            kind: FaultKind::WriteToSyncRegion,
                         }
-                        .into()
-                    })?;
-                    match target {
-                        DmTarget::Memory { location, .. } => {
-                            dm_reqs.push(Request {
-                                core: idx,
-                                bank: location.bank,
-                                addr,
-                                write: store.is_some(),
-                            });
-                            dm_meta.push((idx, target, store));
-                        }
-                        DmTarget::SyncPoint(point) => {
-                            if store.is_some() {
-                                return Err(Fault {
-                                    core: idx,
-                                    pc: slot.core.pc(),
-                                    addr,
-                                    kind: FaultKind::WriteToSyncRegion,
-                                }
-                                .into());
-                            }
-                            let word = self.synchronizer.point_value(point)?.to_word();
-                            self.stats.sync_region_reads += 1;
-                            ready.push((idx, Ready::Load(word)));
-                        }
-                        DmTarget::Mmio(mmio_addr) => {
-                            let value = self.access_mmio(idx, mmio_addr, store)?;
-                            match store {
-                                Some(_) => ready.push((idx, Ready::Store)),
-                                None => ready.push((idx, Ready::Load(value))),
-                            }
-                        }
+                        .into());
+                    }
+                    let word = self.synchronizer.point_value(point)?.to_word();
+                    self.stats.sync_region_reads += 1;
+                    self.scratch.ready.push((idx, Ready::Load(word)));
+                }
+                DmTarget::Mmio(mmio_addr) => {
+                    let value = self.access_mmio(idx, mmio_addr, store)?;
+                    match store {
+                        Some(_) => self.scratch.ready.push((idx, Ready::Store)),
+                        None => self.scratch.ready.push((idx, Ready::Load(value))),
                     }
                 }
             }
         }
 
         // 5. Data-side arbitration and physical accesses.
-        let dm_grants = if crossbar {
-            arbitrate(&dm_reqs, cycle as usize, self.config.broadcast)
+        if crossbar {
+            arbitrate_into(
+                &self.scratch.dm_reqs,
+                cycle as usize,
+                self.config.broadcast,
+                &mut self.scratch.dm_grants,
+            );
         } else {
-            vec![Grant::Access; dm_reqs.len()]
-        };
+            self.scratch.dm_grants.clear();
+            self.scratch
+                .dm_grants
+                .resize(self.scratch.dm_reqs.len(), Grant::Access);
+        }
         // Broadcast loads observe the winner's value; resolve accesses in
         // grant order: all reads of one address see the pre-write value
         // only if no write won — writes and reads of the same address
         // never both win in one cycle, so read-after-write hazards within
         // a cycle cannot occur.
-        for (i, grant) in dm_grants.iter().enumerate() {
-            let (slot_idx, target, store) = dm_meta[i];
+        for i in 0..self.scratch.dm_grants.len() {
+            let grant = self.scratch.dm_grants[i];
+            let (slot_idx, target, store) = self.scratch.dm_meta[i];
             let DmTarget::Memory { location, .. } = target else {
                 unreachable!("only banked targets are arbitrated");
             };
@@ -715,16 +793,18 @@ impl Platform {
                             self.stats.dm.writes[location.bank] += 1;
                             self.dm.write(location, value);
                             if !self.watchpoints.is_empty() {
-                                let addr = dm_reqs[i].addr;
+                                let addr = self.scratch.dm_reqs[i].addr;
                                 if self.watchpoints.contains(&addr) {
                                     self.watch_hit = Some((slot_idx, addr));
                                 }
                             }
-                            ready.push((slot_idx, Ready::Store));
+                            self.scratch.ready.push((slot_idx, Ready::Store));
                         }
                         None => {
                             self.stats.dm.reads[location.bank] += 1;
-                            ready.push((slot_idx, Ready::Load(self.dm.read(location))));
+                            self.scratch
+                                .ready
+                                .push((slot_idx, Ready::Load(self.dm.read(location))));
                         }
                     }
                 }
@@ -733,7 +813,9 @@ impl Platform {
                         self.stats.xbar_dm += 1;
                     }
                     self.stats.dm.broadcasts += 1;
-                    ready.push((slot_idx, Ready::Load(self.dm.read(location))));
+                    self.scratch
+                        .ready
+                        .push((slot_idx, Ready::Load(self.dm.read(location))));
                 }
                 Grant::Stall => {
                     self.stats.dm.conflicts += 1;
@@ -743,14 +825,17 @@ impl Platform {
         }
 
         // 6. Retirement.
-        for (slot_idx, r) in ready {
+        for i in 0..self.scratch.ready.len() {
+            let (slot_idx, r) = self.scratch.ready[i];
             let slot = &mut self.slots[slot_idx];
-            let instr = slot.held.take().expect("ready instructions were held");
+            let decoded = slot.held.take().expect("ready instructions were held");
+            let instr = decoded.instr;
             let load_value = match r {
                 Ready::Load(v) => Some(v),
                 _ => None,
             };
             self.stats.cores[slot_idx].instructions += 1;
+            self.instr_retired += 1;
             match instr {
                 Instr::Sync { .. } => self.stats.cores[slot_idx].sync_ops += 1,
                 Instr::Sleep => self.stats.cores[slot_idx].sleeps += 1,
@@ -765,7 +850,11 @@ impl Platform {
                 });
             }
             match slot.core.retire(instr, load_value) {
-                Retire::Next | Retire::Halt => {}
+                Retire::Next => {}
+                Retire::Halt => {
+                    self.halted_count += 1;
+                    self.idle_candidate = true;
+                }
                 Retire::Taken => slot.bubble = true,
                 Retire::Sync { kind, point } => {
                     self.synchronizer
@@ -780,6 +869,9 @@ impl Platform {
         // 7. Synchronizer commit: gating and wake-up.
         let outcome = self.synchronizer.commit()?;
         self.stats.sync_region_writes += outcome.memory_writes as u64;
+        if !outcome.slept.is_empty() {
+            self.idle_candidate = true;
+        }
         for core in outcome.slept.iter() {
             self.slots[core.index()].core.set_gated(true);
         }
@@ -788,8 +880,224 @@ impl Platform {
         }
 
         self.stats.cycles += 1;
-        self.stats.adc_overruns = self.adc.overruns();
         Ok(())
+    }
+
+    /// Single-slot specialization of [`Platform::step`]: with one core
+    /// there is never an arbitration conflict, so the request/grant
+    /// machinery and its scratch buffers collapse into straight-line
+    /// code. Every stat and fault must mirror the general path exactly —
+    /// the differential oracle tests compare the two cycle for cycle.
+    fn step_one(&mut self) -> Result<(), SimError> {
+        let cycle = self.stats.cycles;
+        let crossbar = self.config.interconnect == InterconnectKind::Crossbar;
+
+        // ADC sampling and interrupt forwarding.
+        let irq_mask = self.adc.tick(cycle);
+        if irq_mask != 0 {
+            self.stats.adc_samples += 1;
+            for source in 0..16 {
+                if irq_mask & (1 << source) != 0 {
+                    self.synchronizer.raise_irq(source);
+                }
+            }
+            let cs = &mut self.stats.cores[0];
+            cs.max_window_active = cs.max_window_active.max(cs.window_active);
+            cs.window_active = 0;
+            self.stats.adc_overruns = self.adc.overruns();
+        }
+
+        'exec: {
+            // Cycle accounting and fetch.
+            if !self.slots[0].present || self.slots[0].core.is_halted() {
+                break 'exec;
+            }
+            if self.slots[0].core.is_gated() {
+                self.stats.cores[0].gated_cycles += 1;
+                break 'exec;
+            }
+            {
+                let cs = &mut self.stats.cores[0];
+                cs.active_cycles += 1;
+                cs.window_active += 1;
+            }
+            if self.slots[0].bubble {
+                self.slots[0].bubble = false;
+                self.stats.cores[0].bubbles += 1;
+                break 'exec;
+            }
+            if self.slots[0].held.is_none() {
+                let pc = self.slots[0].core.pc();
+                if pc as usize >= IM_WORDS {
+                    return Err(Fault {
+                        core: 0,
+                        pc,
+                        addr: pc,
+                        kind: FaultKind::ImOutOfRange,
+                    }
+                    .into());
+                }
+                // A lone fetch always wins its bank.
+                self.stats.im.reads[InstrMemory::bank_of(pc)] += 1;
+                if crossbar {
+                    self.stats.xbar_im += 1;
+                }
+                let decoded = self.fetch_decoded(pc).ok_or(SimError::Fault(Fault {
+                    core: 0,
+                    pc,
+                    addr: pc,
+                    kind: FaultKind::BadInstruction,
+                }))?;
+                self.slots[0].held = Some(decoded);
+            }
+
+            // Hazard check and memory resolution.
+            let decoded = self.slots[0].held.expect("fetched or previously held");
+            if self.slots[0]
+                .core
+                .has_load_use_hazard_mask(decoded.src_mask)
+            {
+                self.slots[0].core.clear_hazard();
+                self.stats.cores[0].stall_hazard += 1;
+                break 'exec;
+            }
+            let ready = if decoded.mem == MemClass::None {
+                Ready::NoMem
+            } else {
+                let intent = self.slots[0]
+                    .core
+                    .mem_intent(&decoded.instr)
+                    .expect("memory class implies an intent");
+                let (addr, store) = match intent {
+                    MemIntent::Load { addr } => (addr, None),
+                    MemIntent::Store { addr, value } => (addr, Some(value)),
+                };
+                let target = self.atu.translate(0, addr).map_err(|kind| -> SimError {
+                    Fault {
+                        core: 0,
+                        pc: self.slots[0].core.pc(),
+                        addr,
+                        kind,
+                    }
+                    .into()
+                })?;
+                match target {
+                    // A lone request always wins arbitration.
+                    DmTarget::Memory { location, .. } => {
+                        if crossbar {
+                            self.stats.xbar_dm += 1;
+                        }
+                        match store {
+                            Some(value) => {
+                                self.stats.dm.writes[location.bank] += 1;
+                                self.dm.write(location, value);
+                                if !self.watchpoints.is_empty() && self.watchpoints.contains(&addr)
+                                {
+                                    self.watch_hit = Some((0, addr));
+                                }
+                                Ready::Store
+                            }
+                            None => {
+                                self.stats.dm.reads[location.bank] += 1;
+                                Ready::Load(self.dm.read(location))
+                            }
+                        }
+                    }
+                    DmTarget::SyncPoint(point) => {
+                        if store.is_some() {
+                            return Err(Fault {
+                                core: 0,
+                                pc: self.slots[0].core.pc(),
+                                addr,
+                                kind: FaultKind::WriteToSyncRegion,
+                            }
+                            .into());
+                        }
+                        let word = self.synchronizer.point_value(point)?.to_word();
+                        self.stats.sync_region_reads += 1;
+                        Ready::Load(word)
+                    }
+                    DmTarget::Mmio(mmio_addr) => {
+                        let value = self.access_mmio(0, mmio_addr, store)?;
+                        match store {
+                            Some(_) => Ready::Store,
+                            None => Ready::Load(value),
+                        }
+                    }
+                }
+            };
+
+            // Retirement.
+            let decoded = self.slots[0]
+                .held
+                .take()
+                .expect("ready instruction was held");
+            let instr = decoded.instr;
+            let load_value = match ready {
+                Ready::Load(v) => Some(v),
+                _ => None,
+            };
+            self.stats.cores[0].instructions += 1;
+            self.instr_retired += 1;
+            match instr {
+                Instr::Sync { .. } => self.stats.cores[0].sync_ops += 1,
+                Instr::Sleep => self.stats.cores[0].sleeps += 1,
+                _ => {}
+            }
+            if let Some(tracer) = &mut self.tracer {
+                tracer.record(TraceEvent {
+                    cycle,
+                    core: 0,
+                    pc: self.slots[0].core.pc(),
+                    instr,
+                });
+            }
+            match self.slots[0].core.retire(instr, load_value) {
+                Retire::Next => {}
+                Retire::Halt => {
+                    self.halted_count += 1;
+                    self.idle_candidate = true;
+                }
+                Retire::Taken => self.slots[0].bubble = true,
+                Retire::Sync { kind, point } => {
+                    self.synchronizer.submit_op(CoreId::new(0)?, kind, point)?;
+                }
+                Retire::Sleep => {
+                    self.synchronizer.request_sleep(CoreId::new(0)?);
+                }
+            }
+        }
+
+        // Synchronizer commit: gating and wake-up.
+        let outcome = self.synchronizer.commit()?;
+        self.stats.sync_region_writes += outcome.memory_writes as u64;
+        if !outcome.slept.is_empty() {
+            self.idle_candidate = true;
+        }
+        for core in outcome.slept.iter() {
+            self.slots[core.index()].core.set_gated(true);
+        }
+        for core in outcome.woken.iter() {
+            self.slots[core.index()].core.set_gated(false);
+        }
+
+        self.stats.cycles += 1;
+        Ok(())
+    }
+
+    /// Resolves the instruction at `pc`: predecoded fast path by
+    /// default, decode-per-cycle when the oracle path is selected.
+    #[inline]
+    fn fetch_decoded(&self, pc: u32) -> Option<DecodedInstr> {
+        #[cfg(any(test, feature = "slow-decode"))]
+        if self.slow_decode {
+            return self
+                .im
+                .fetch(pc)
+                .and_then(|w| Instr::decode(w).ok())
+                .map(DecodedInstr::new);
+        }
+        self.decoded.get(pc).copied()
     }
 
     fn access_mmio(&mut self, core: usize, addr: u32, store: Option<u16>) -> Result<u16, SimError> {

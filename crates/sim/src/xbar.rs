@@ -63,25 +63,68 @@ pub enum Grant {
 /// assert_eq!(grants, vec![Grant::Access, Grant::Broadcast]);
 /// ```
 pub fn arbitrate(requests: &[Request], rotation: usize, broadcast: bool) -> Vec<Grant> {
-    let mut grants = vec![Grant::Stall; requests.len()];
+    let mut grants = Vec::new();
+    arbitrate_into(requests, rotation, broadcast, &mut grants);
+    grants
+}
+
+/// Allocation-free form of [`arbitrate`]: clears `grants` and fills it
+/// with one [`Grant`] per request, reusing the vector's capacity. The
+/// simulator's cycle loop calls this twice per cycle, so the grant
+/// buffer must not be reallocated each time.
+pub fn arbitrate_into(
+    requests: &[Request],
+    rotation: usize,
+    broadcast: bool,
+    grants: &mut Vec<Grant>,
+) {
+    grants.clear();
+    // A lone request can never conflict: grant it without scanning.
+    if requests.len() <= 1 {
+        grants.resize(requests.len(), Grant::Access);
+        return;
+    }
+    // Lockstep fast path: every request reads the same word (cores
+    // executing the same code in phase). One access, the rest broadcast.
+    let first = requests[0];
+    if broadcast
+        && !first.write
+        && requests[1..]
+            .iter()
+            .all(|r| r.bank == first.bank && r.addr == first.addr && !r.write)
+    {
+        let rot = rotation % 8;
+        let winner = requests
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| (r.core + 8 - rot) % 8)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        grants.resize(requests.len(), Grant::Broadcast);
+        grants[winner] = Grant::Access;
+        return;
+    }
+    grants.resize(requests.len(), Grant::Stall);
     // Few requests per cycle (≤ 8 cores): quadratic scans are cheaper
-    // than hashing.
-    let mut banks_done = [false; 64];
+    // than hashing. Banks fit in a u64 arbitration bitmask.
+    let mut banks_done: u64 = 0;
     for i in 0..requests.len() {
         let bank = requests[i].bank;
-        if banks_done[bank] {
+        debug_assert!(bank < 64, "bank index fits the arbitration mask");
+        if banks_done & (1 << bank) != 0 {
             continue;
         }
-        banks_done[bank] = true;
+        banks_done |= 1 << bank;
         // Pick the winning request for this bank: the member with the
         // highest rotating priority.
+        let rot = rotation % 8;
         let mut winner = i;
         let mut winner_priority = usize::MAX;
         for (j, r) in requests.iter().enumerate() {
             if r.bank != bank {
                 continue;
             }
-            let priority = (r.core + 8 - (rotation % 8)) % 8;
+            let priority = (r.core + 8 - rot) % 8;
             if priority < winner_priority {
                 winner_priority = priority;
                 winner = j;
@@ -98,7 +141,6 @@ pub fn arbitrate(requests: &[Request], rotation: usize, broadcast: bool) -> Vec<
             }
         }
     }
-    grants
 }
 
 #[cfg(test)]

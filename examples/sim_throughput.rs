@@ -1,0 +1,39 @@
+//! Measures raw simulator throughput (simulated cycles per wall-clock
+//! second) for the single-core and multi-core 3L-MF builds — the
+//! repo's quick interpreter-speed probe.
+//!
+//! Usage: `cargo run --release --example sim_throughput [seconds]`
+
+use std::time::Instant;
+
+use wbsn_dsp::ecg::{synthesize, EcgConfig};
+use wbsn_kernels::{build_mf, Arch, BuildOptions};
+
+fn main() {
+    let seconds: f64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    let rec = synthesize(&EcgConfig {
+        duration_s: seconds,
+        ..EcgConfig::healthy_60s()
+    });
+    for arch in [Arch::SingleCore, Arch::MultiCore] {
+        let options = BuildOptions {
+            adc_period_cycles: 4600,
+            ..BuildOptions::default()
+        };
+        let app = build_mf(arch, &options).expect("MF builds");
+        let samples = rec.leads[0].len() as u64;
+        let total = app.config.adc.start_cycle + samples * options.adc_period_cycles;
+        let mut platform = app.platform(rec.leads.clone()).expect("platform builds");
+        let start = Instant::now();
+        platform.run(total).expect("runs clean");
+        let wall = start.elapsed().as_secs_f64();
+        let cycles = platform.stats().cycles;
+        println!(
+            "{arch:?}: {cycles} cycles in {wall:.3} s  ->  {:.2} Mcycles/s",
+            cycles as f64 / wall / 1e6
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Golden-trace coverage of the disassembler:
+//!
+//! * **roundtrip** — every instruction word of every kernel image
+//!   disassembles to text the assembler accepts and re-encodes to the
+//!   exact same word. This pins the printer and the parser to each
+//!   other over the full vocabulary the code generators actually emit.
+//! * **snapshot** — the first instructions of the 3L-MF conditioning
+//!   phase, as a fixed listing. Codegen changes that move the phase
+//!   prologue must update this snapshot consciously.
+
+use wbsn::isa::asm::assemble_text;
+use wbsn::isa::{disasm, Instr};
+use wbsn::kernels::{
+    build_mf, build_mmd, build_rpclass, Arch, BuildOptions, BuiltApp, ClassifierParams,
+    SyncApproach,
+};
+
+fn all_apps() -> Vec<BuiltApp> {
+    let params = ClassifierParams::default_trained();
+    let mut apps = Vec::new();
+    for approach in [SyncApproach::Hardware, SyncApproach::BusyWait] {
+        let options = BuildOptions {
+            approach,
+            ..BuildOptions::default()
+        };
+        for arch in [Arch::SingleCore, Arch::MultiCore] {
+            apps.push(build_mf(arch, &options).expect("mf builds"));
+            apps.push(build_mmd(arch, &options).expect("mmd builds"));
+            apps.push(build_rpclass(arch, &options, &params).expect("rpclass builds"));
+        }
+    }
+    apps
+}
+
+#[test]
+fn every_kernel_instruction_roundtrips_through_text() {
+    let mut roundtripped = 0usize;
+    for app in all_apps() {
+        for section in app.image.sections() {
+            for offset in 0..section.len {
+                let addr = section.base + offset as u32;
+                let word = app.image.instr_word(addr);
+                let instr = match Instr::decode(word) {
+                    Ok(instr) => instr,
+                    Err(_) => continue, // data word in a code section
+                };
+                let text = disasm::disassemble_word(word).expect("decodable word disassembles");
+                let program = assemble_text(&text).unwrap_or_else(|e| {
+                    panic!(
+                        "{} {:?} {:#06x}: assembler rejects its own listing {text:?}: {e}",
+                        app.name, app.arch, addr
+                    )
+                });
+                let words = program.words().expect("reassembly encodes");
+                assert_eq!(
+                    words,
+                    vec![word],
+                    "{} {:?} {:#06x}: {text:?} reassembles to a different word ({instr:?})",
+                    app.name,
+                    app.arch,
+                    addr
+                );
+                roundtripped += 1;
+            }
+        }
+    }
+    // The vocabulary check only means something if it saw real volume:
+    // every benchmark image is several hundred instructions.
+    assert!(
+        roundtripped > 2_000,
+        "only {roundtripped} instructions roundtripped — images missing?"
+    );
+}
+
+#[test]
+fn mf_conditioning_prologue_matches_the_golden_listing() {
+    let app = build_mf(Arch::MultiCore, &BuildOptions::default()).expect("mf builds");
+    let section = &app.image.sections()[0];
+    assert_eq!(
+        section.name, "cond",
+        "3L-MF leads with the conditioning phase"
+    );
+    let words: Vec<u32> = (0..12.min(section.len))
+        .map(|offset| app.image.instr_word(section.base + offset as u32))
+        .collect();
+    let listing = disasm::disassemble(&words, section.base).join("\n");
+    // The phase prologue: clear r0, set the private base, read this
+    // core's entry in the ATU offset table and derive the private/shared
+    // base pointers. Update deliberately when codegen changes.
+    let golden = "\
+0x0000: li r0, 0
+0x0001: li r6, 6144
+0x0002: lui r2, 127
+0x0003: ori r2, r2, 34
+0x0004: lw r5, 0(r2)
+0x0005: lui r2, 127
+0x0006: ori r2, r2, 16
+0x0007: add r2, r2, r5
+0x0008: sw r2, 20(r6)
+0x0009: lui r2, 127
+0x000a: add r2, r2, r5
+0x000b: sw r2, 21(r6)";
+    assert_eq!(
+        listing, golden,
+        "3L-MF conditioning prologue drifted from the golden listing"
+    );
+}

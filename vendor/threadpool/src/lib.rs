@@ -1,0 +1,198 @@
+//! Offline stand-in for the `threadpool` crate.
+//!
+//! The build environment has no registry access, so this vendored shim
+//! provides the deterministic subset the sweep engine needs: a
+//! fixed-size pool of worker threads draining one shared job queue.
+//!
+//! Semantics mirror the real crate where it matters:
+//!
+//! * [`ThreadPool::new`] spawns exactly `n` OS threads up front.
+//! * [`ThreadPool::execute`] enqueues a job; any idle worker picks it up
+//!   in FIFO order.
+//! * [`ThreadPool::join`] blocks until every queued job has finished.
+//! * Dropping the pool closes the queue and joins the workers.
+//!
+//! A panicking job poisons nothing: the worker catches the unwind and
+//! keeps draining the queue, and [`ThreadPool::panic_count`] reports how
+//! many jobs panicked.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters shared between the pool handle and its workers, used by
+/// [`ThreadPool::join`] to detect the all-idle/queue-empty state.
+#[derive(Default)]
+struct PoolState {
+    /// Jobs enqueued but not yet finished (running or queued).
+    pending: AtomicUsize,
+    /// Jobs whose closure panicked.
+    panicked: AtomicUsize,
+    /// Signalled every time a job finishes.
+    done: Condvar,
+    /// Guard for the `done` condvar (holds no data of its own).
+    lock: Mutex<()>,
+}
+
+/// A fixed-size pool of worker threads draining a FIFO job queue.
+pub struct ThreadPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    state: Arc<PoolState>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `n` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> ThreadPool {
+        assert!(n > 0, "a thread pool needs at least one worker");
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let state = Arc::new(PoolState::default());
+        let workers = (0..n)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("pool-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while dequeuing so
+                        // other workers can grab the next job while this
+                        // one runs.
+                        let job = match receiver.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // queue closed
+                        };
+                        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                            state.panicked.fetch_add(1, Ordering::SeqCst);
+                        }
+                        state.pending.fetch_sub(1, Ordering::SeqCst);
+                        let _guard = state.lock.lock().unwrap();
+                        state.done.notify_all();
+                    })
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+            state,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn max_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job for execution by the next free worker.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        self.sender
+            .as_ref()
+            .expect("pool queue open")
+            .send(Box::new(job))
+            .expect("pool workers alive");
+    }
+
+    /// Blocks until every enqueued job has finished (the pool stays
+    /// usable afterwards).
+    pub fn join(&self) {
+        let mut guard = self.state.lock.lock().unwrap();
+        while self.state.pending.load(Ordering::SeqCst) > 0 {
+            guard = self.state.done.wait(guard).unwrap();
+        }
+    }
+
+    /// Jobs that panicked since the pool was created.
+    pub fn panic_count(&self) -> usize {
+        self.state.panicked.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv fail once the
+        // queue drains, so they exit after finishing in-flight work.
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_job_once() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.panic_count(), 0);
+    }
+
+    #[test]
+    fn single_worker_preserves_fifo_order() {
+        let pool = ThreadPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..16 {
+            let order = Arc::clone(&order);
+            pool.execute(move || order.lock().unwrap().push(i));
+        }
+        pool.join();
+        assert_eq!(*order.lock().unwrap(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn survives_panicking_jobs() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                if i % 2 == 0 {
+                    panic!("job {i} fails");
+                }
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        assert_eq!(pool.panic_count(), 5);
+    }
+
+    #[test]
+    fn join_is_reusable() {
+        let pool = ThreadPool::new(2);
+        pool.join(); // nothing queued: returns immediately
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.execute(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_is_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+}
