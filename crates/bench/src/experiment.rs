@@ -24,7 +24,7 @@ use wbsn_kernels::{
     SyncApproach,
 };
 use wbsn_power::{Activity, Interconnect, OperatingPoint, PowerBreakdown, PowerModel, VfsTable};
-use wbsn_sim::{Platform, SimError, SimStats};
+use wbsn_sim::{ObsConfig, ObsSummary, Platform, SimError, SimStats};
 
 use crate::cache::BuildCache;
 
@@ -172,6 +172,9 @@ pub struct Measurement {
     pub breakdown: PowerBreakdown,
     /// Raw statistics of the measurement run.
     pub stats: SimStats,
+    /// Latency/stall digest of the measurement run (sleep and sync-gap
+    /// percentiles, per-cause stall totals).
+    pub obs: Option<ObsSummary>,
     /// The powered-instance counts used by the power model.
     pub activity: Activity,
     /// The selected operating point.
@@ -293,9 +296,22 @@ fn run_window(app: &BuiltApp, leads: Vec<Vec<i16>>, period: u64) -> Result<Platf
     let samples = leads[0].len() as u64;
     let total = app.config.adc.start_cycle + samples * period;
     let mut platform = app.platform(leads)?;
+    // The counting sink is cheap enough to leave on for every cell; its
+    // histograms become the per-cell latency digest of the sweep record.
+    platform.enable_obs(ObsConfig::counting_only());
     platform.run(total)?;
     platform.idle_until(total);
+    platform.finish_obs();
     Ok(platform)
+}
+
+/// The latency/stall digest of a finished measurement window.
+fn obs_summary(platform: &Platform) -> Option<ObsSummary> {
+    platform
+        .obs()
+        .recorder()
+        .and_then(|r| r.counting())
+        .map(|c| c.summary())
 }
 
 /// Measures one `(benchmark, variant)` configuration.
@@ -438,6 +454,7 @@ pub fn measure_cached(
             runtime_overhead_percent: stats.runtime_overhead_percent(),
             breakdown,
             stats,
+            obs: obs_summary(&platform),
             activity,
             op,
             platform_config: app.config.clone(),
@@ -523,6 +540,7 @@ pub fn measure_at_clock_cached(
         runtime_overhead_percent: stats.runtime_overhead_percent(),
         breakdown,
         stats,
+        obs: obs_summary(&platform),
         activity,
         op,
         platform_config: app.config.clone(),
@@ -566,5 +584,14 @@ mod tests {
         // Overheads are small.
         assert!(mc.code_overhead_percent < 10.0);
         assert!(mc.runtime_overhead_percent < 10.0);
+        // The counting sink rode along: the multi-core run observed
+        // real sleeps and its percentiles are ordered.
+        let obs = mc.obs.expect("measurement carries the latency digest");
+        assert!(obs.sleep_count > 0, "{obs:?}");
+        assert!(obs.sleep_p99_cycles >= obs.sleep_p50_cycles, "{obs:?}");
+        assert!(
+            obs.sync_gap_p99_cycles >= obs.sync_gap_p50_cycles,
+            "{obs:?}"
+        );
     }
 }

@@ -175,7 +175,7 @@ impl SweepReport {
     /// (`workers` is deliberately excluded for the same reason).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"wbsn-bench-sweep/1\",\n");
+        out.push_str("  \"schema\": \"wbsn-bench-sweep/2\",\n");
         out.push_str(&format!("  \"grid_cells\": {},\n", self.outcomes.len()));
         out.push_str(&format!("  \"wall_s\": {},\n", json_f64(self.wall_s)));
         let cycles = self.simulated_cycles();
@@ -239,7 +239,47 @@ impl SweepReport {
                         json_f64(m.dm_broadcast_percent)
                     ));
                     out.push_str(&format!("      \"active_cores\": {},\n", m.active_cores));
-                    out.push_str(&format!("      \"cycles\": {}\n", m.stats.cycles));
+                    out.push_str(&format!("      \"cycles\": {},\n", m.stats.cycles));
+                    match &m.obs {
+                        Some(s) => {
+                            out.push_str("      \"obs\": {\n");
+                            out.push_str(&format!("        \"sleep_count\": {},\n", s.sleep_count));
+                            out.push_str(&format!(
+                                "        \"sleep_p50_cycles\": {},\n",
+                                s.sleep_p50_cycles
+                            ));
+                            out.push_str(&format!(
+                                "        \"sleep_p99_cycles\": {},\n",
+                                s.sleep_p99_cycles
+                            ));
+                            out.push_str(&format!(
+                                "        \"sync_gap_p50_cycles\": {},\n",
+                                s.sync_gap_p50_cycles
+                            ));
+                            out.push_str(&format!(
+                                "        \"sync_gap_p99_cycles\": {},\n",
+                                s.sync_gap_p99_cycles
+                            ));
+                            out.push_str(&format!(
+                                "        \"stall_im_cycles\": {},\n",
+                                s.stall_im_cycles
+                            ));
+                            out.push_str(&format!(
+                                "        \"stall_dm_cycles\": {},\n",
+                                s.stall_dm_cycles
+                            ));
+                            out.push_str(&format!(
+                                "        \"stall_hazard_cycles\": {},\n",
+                                s.stall_hazard_cycles
+                            ));
+                            out.push_str(&format!(
+                                "        \"stall_run_p99_cycles\": {}\n",
+                                s.stall_run_p99_cycles
+                            ));
+                            out.push_str("      }\n");
+                        }
+                        None => out.push_str("      \"obs\": null\n"),
+                    }
                 }
                 Err(e) => {
                     out.push_str("      \"ok\": false,\n");
@@ -420,6 +460,7 @@ mod tests {
         );
         assert!(report.outcomes.is_empty());
         let json = report.to_json();
+        assert!(json.contains("\"schema\": \"wbsn-bench-sweep/2\""));
         assert!(json.contains("\"grid_cells\": 0"));
         assert!(json.ends_with("]\n}\n"));
     }

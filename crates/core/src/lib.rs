@@ -55,5 +55,5 @@ pub mod task_graph;
 pub use error::{MappingError, SyncError, TaskGraphError};
 pub use mapping::{Mapper, MappingPlan, PhasePlacement};
 pub use sync_point::{CoreId, CoreSet, SyncPointValue, MAX_CORES};
-pub use synchronizer::{SyncOutcome, SyncStats, Synchronizer};
+pub use synchronizer::{PointTouch, SyncOutcome, SyncStats, Synchronizer};
 pub use task_graph::{Phase, PhaseId, PhaseRole, TaskGraph};

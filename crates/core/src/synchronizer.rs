@@ -42,6 +42,22 @@ struct PointState {
     reload: Option<(u8, CoreSet)>,
 }
 
+/// One synchronization point touched by a committed cycle — the
+/// per-point detail behind the cycle's merged memory write, kept so
+/// observers (the event stream, the verifier) can reconstruct exactly
+/// what the hardware did without re-deriving the merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointTouch {
+    /// The touched point.
+    pub point: u16,
+    /// Cores newly flagged into the point this cycle (`SINC`/`SNOP`).
+    pub flagged: CoreSet,
+    /// Requests merged into this point's single write.
+    pub requests: u8,
+    /// The update armed the point (a `SINC` was present).
+    pub armed: bool,
+}
+
 /// What happened during one committed synchronizer cycle.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SyncOutcome {
@@ -53,6 +69,12 @@ pub struct SyncOutcome {
     pub fell_through: CoreSet,
     /// Points that fired (counter reached zero with flags set).
     pub fired_points: Vec<u16>,
+    /// For each fired point (aligned with
+    /// [`SyncOutcome::fired_points`]), the cores that were flagged when
+    /// it released — the wake set before pending-latch resolution.
+    pub fired_wakes: Vec<CoreSet>,
+    /// Per-point detail of every merged update applied this cycle.
+    pub touched: Vec<PointTouch>,
     /// Number of physical shared-memory writes performed (one per touched
     /// point, regardless of how many requests were merged into it).
     pub memory_writes: usize,
@@ -382,6 +404,12 @@ impl Synchronizer {
             self.stats.writes += 1;
             self.stats.merged += (counts[slot] - 1) as u64;
             outcome.memory_writes += 1;
+            outcome.touched.push(PointTouch {
+                point,
+                flagged: flag_sets[slot],
+                requests: counts[slot].min(u8::MAX as u32) as u8,
+                armed: incs[slot],
+            });
 
             // Lost-wake detection: the counter hit zero on a decrement
             // while the point is armed but nobody is flagged — the
@@ -398,6 +426,7 @@ impl Synchronizer {
             if state.armed && state.value.is_release_ready() {
                 woken = woken.union(state.value.flags());
                 outcome.fired_points.push(point);
+                outcome.fired_wakes.push(state.value.flags());
                 self.stats.fires += 1;
                 let (reload, flags) = state.reload.unwrap_or((0, CoreSet::empty()));
                 state.value = SyncPointValue::with(flags, reload);

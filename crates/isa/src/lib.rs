@@ -37,6 +37,7 @@ pub mod instr;
 pub mod link;
 pub mod lint;
 pub mod mem;
+pub mod phase;
 pub mod program;
 pub mod reg;
 pub mod syncflow;
@@ -49,5 +50,6 @@ pub use image::ImageFormatError;
 pub use instr::{AluImmOp, AluOp, BranchCond, Instr, SyncKind, MAX_SYNC_POINT};
 pub use link::{DataSegment, LinkedImage, Linker, PlacedSection, Section};
 pub use mem::{DM_BANKS, DM_BANK_WORDS, DM_WORDS, IM_BANKS, IM_BANK_WORDS, IM_WORDS};
+pub use phase::{PhaseTable, NO_PHASE};
 pub use program::Program;
 pub use reg::Reg;

@@ -1,0 +1,105 @@
+//! Phase markers: mapping instruction addresses back to the placed
+//! section (the *mapping phase*) that owns them.
+//!
+//! The tool-chain's sections are the paper's mapping phases — `mf`,
+//! `delineate`, `classify`, … — and their placement survives the image
+//! container, so any loaded image can attribute a program counter to the
+//! phase executing at that address. The observability layer builds its
+//! per-phase profiler and timeline slices on this table; it is a plain
+//! O(1) lookup so the simulator can consult it every cycle.
+
+use crate::link::LinkedImage;
+use crate::mem::IM_WORDS;
+
+/// Sentinel phase index: the address belongs to no placed section.
+pub const NO_PHASE: u16 = u16::MAX;
+
+/// A dense pc → phase-index lookup table over the instruction memory.
+///
+/// Phase indices are positions into [`PhaseTable::names`], in the
+/// image's section order. Addresses outside every section map to
+/// [`NO_PHASE`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTable {
+    names: Vec<String>,
+    index: Vec<u16>,
+}
+
+impl PhaseTable {
+    /// Builds the table from a linked image's placed sections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image places more than `u16::MAX - 1` sections
+    /// (impossible with the platform's memory geometry).
+    pub fn from_image(image: &LinkedImage) -> PhaseTable {
+        let sections = image.sections();
+        assert!(sections.len() < NO_PHASE as usize, "too many sections");
+        let names = sections.iter().map(|s| s.name.clone()).collect();
+        let mut index = vec![NO_PHASE; IM_WORDS];
+        for (i, section) in sections.iter().enumerate() {
+            let base = section.base as usize;
+            for slot in &mut index[base..base + section.len] {
+                *slot = i as u16;
+            }
+        }
+        PhaseTable { names, index }
+    }
+
+    /// The phase names, indexable by the values of
+    /// [`PhaseTable::phase_at`].
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of phases.
+    pub fn num_phases(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The phase index owning `pc`, or [`NO_PHASE`].
+    #[inline]
+    pub fn phase_at(&self, pc: u32) -> u16 {
+        self.index.get(pc as usize).copied().unwrap_or(NO_PHASE)
+    }
+
+    /// The name of phase `idx`, if it exists.
+    pub fn name_of(&self, idx: u16) -> Option<&str> {
+        self.names.get(idx as usize).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+    use crate::link::{Linker, Section};
+    use crate::mem::IM_BANK_WORDS;
+    use crate::program::Program;
+
+    fn prog(n: usize) -> Program {
+        Program::from_instrs(vec![Instr::Nop; n])
+    }
+
+    #[test]
+    fn table_maps_sections_and_gaps() {
+        let mut l = Linker::new();
+        l.add_section(Section::in_bank("alpha", prog(4), 0));
+        l.add_section(Section::in_bank("beta", prog(2), 1));
+        l.set_entry(0, "alpha");
+        let image = l.link().unwrap();
+        let table = PhaseTable::from_image(&image);
+
+        assert_eq!(table.num_phases(), 2);
+        let alpha = table.phase_at(0);
+        assert_eq!(table.name_of(alpha), Some("alpha"));
+        assert_eq!(table.phase_at(3), alpha);
+        let beta = table.phase_at(IM_BANK_WORDS as u32);
+        assert_eq!(table.name_of(beta), Some("beta"));
+        assert_ne!(alpha, beta);
+        // The gap between the sections and out-of-range pcs are unmapped.
+        assert_eq!(table.phase_at(4), NO_PHASE);
+        assert_eq!(table.phase_at(IM_WORDS as u32 + 10), NO_PHASE);
+        assert_eq!(table.name_of(NO_PHASE), None);
+    }
+}

@@ -1,0 +1,106 @@
+//! Validates a Chrome/Perfetto `trace_event` JSON file.
+//!
+//! Usage: `wbsn-trace-check <trace.json>...`
+//!
+//! Checks, per file, that the document parses, has the JSON Object
+//! Format shape (`{"traceEvents": [...]}`), and that every event
+//! carries the fields its phase requires: `X` events need numeric
+//! non-negative `ts` and `dur`, `i` events need `ts` and a scope `s`,
+//! `M` events need a `name` and `args`. Exits non-zero on the first
+//! invalid file so CI can gate on it.
+
+use std::process::ExitCode;
+
+use wbsn_obs::json::{self, Json};
+
+fn check_event(i: usize, event: &Json) -> Result<(), String> {
+    let obj = event
+        .as_obj()
+        .ok_or_else(|| format!("event {i}: not an object"))?;
+    let field = |key: &str| -> Option<&Json> { obj.iter().find(|(k, _)| k == key).map(|(_, v)| v) };
+    let ph = field("ph")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("event {i}: missing string \"ph\""))?;
+    let num_field = |key: &str| -> Result<f64, String> {
+        field(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("event {i} (ph {ph}): missing numeric \"{key}\""))
+    };
+    match ph {
+        "X" => {
+            field("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("event {i}: complete event without \"name\""))?;
+            let ts = num_field("ts")?;
+            let dur = num_field("dur")?;
+            if ts < 0.0 || dur < 0.0 {
+                return Err(format!("event {i}: negative ts/dur"));
+            }
+        }
+        "i" | "I" => {
+            field("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("event {i}: instant event without \"name\""))?;
+            num_field("ts")?;
+            let scope = field("s")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("event {i}: instant event without scope \"s\""))?;
+            if !matches!(scope, "g" | "p" | "t") {
+                return Err(format!("event {i}: invalid instant scope \"{scope}\""));
+            }
+        }
+        "M" => {
+            field("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("event {i}: metadata event without \"name\""))?;
+            field("args")
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("event {i}: metadata event without \"args\" object"))?;
+        }
+        "B" | "E" | "b" | "e" | "n" | "C" | "s" | "t" | "f" | "P" => {
+            num_field("ts")?;
+        }
+        other => return Err(format!("event {i}: unknown event phase \"{other}\"")),
+    }
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or_else(|| "missing \"traceEvents\" key".to_string())?
+        .as_arr()
+        .ok_or_else(|| "\"traceEvents\" is not an array".to_string())?;
+    if events.is_empty() {
+        return Err("\"traceEvents\" is empty".to_string());
+    }
+    for (i, event) in events.iter().enumerate() {
+        check_event(i, event)?;
+    }
+    Ok(events.len())
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: wbsn-trace-check <trace.json>...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check_file(path) {
+            Ok(n) => println!("{path}: ok ({n} events)"),
+            Err(msg) => {
+                eprintln!("{path}: INVALID: {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,254 @@
+//! The per-phase profiler: attributes every core-cycle and counter to
+//! the mapping phase active at retirement.
+
+use crate::event::StallCause;
+
+/// Per-(core, phase) counter block — the same taxonomy as the
+/// simulator's `CoreStats`, sliced by phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCounters {
+    /// Instructions retired in the phase.
+    pub instructions: u64,
+    /// Active (ungated) cycles charged to the phase.
+    pub active_cycles: u64,
+    /// Cycles stalled on instruction-memory conflicts.
+    pub stall_im: u64,
+    /// Cycles stalled on data-memory conflicts.
+    pub stall_dm: u64,
+    /// Cycles stalled on load-use hazards.
+    pub stall_hazard: u64,
+    /// Pipeline bubbles after taken control flow.
+    pub bubbles: u64,
+    /// Clock-gated cycles attributed to the phase that issued the sleep.
+    pub gated_cycles: u64,
+    /// Synchronization instructions retired.
+    pub sync_ops: u64,
+    /// Sleeps issued.
+    pub sleeps: u64,
+}
+
+impl PhaseCounters {
+    fn is_empty(&self) -> bool {
+        *self == PhaseCounters::default()
+    }
+
+    fn add(&mut self, other: &PhaseCounters) {
+        self.instructions += other.instructions;
+        self.active_cycles += other.active_cycles;
+        self.stall_im += other.stall_im;
+        self.stall_dm += other.stall_dm;
+        self.stall_hazard += other.stall_hazard;
+        self.bubbles += other.bubbles;
+        self.gated_cycles += other.gated_cycles;
+        self.sync_ops += other.sync_ops;
+        self.sleeps += other.sleeps;
+    }
+}
+
+/// One profiler row: a core, a phase name, and its counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// The core.
+    pub core: usize,
+    /// The phase name (`"<unmapped>"` for addresses outside every
+    /// section).
+    pub phase: String,
+    /// The attributed counters.
+    pub counters: PhaseCounters,
+}
+
+/// Attributes cycles and counters to `(core, phase)` pairs.
+///
+/// The recorder resolves the phase index from the program counter each
+/// active cycle; the profiler just indexes a dense `[core][slot]`
+/// matrix, where the last slot collects unmapped addresses.
+#[derive(Debug, Clone)]
+pub struct PhaseProfiler {
+    names: Vec<String>,
+    rows: Vec<Vec<PhaseCounters>>,
+}
+
+/// Label used for the extra slot that collects unmapped addresses.
+pub const UNMAPPED_PHASE: &str = "<unmapped>";
+
+impl PhaseProfiler {
+    /// A profiler for `cores` cores over phases named `names`.
+    pub fn new(cores: usize, names: Vec<String>) -> PhaseProfiler {
+        let slots = names.len() + 1;
+        PhaseProfiler {
+            names,
+            rows: vec![vec![PhaseCounters::default(); slots]; cores],
+        }
+    }
+
+    #[inline]
+    fn at(&mut self, core: usize, slot: usize) -> &mut PhaseCounters {
+        &mut self.rows[core][slot]
+    }
+
+    /// Charges one active cycle.
+    #[inline]
+    pub fn active(&mut self, core: usize, slot: usize) {
+        self.at(core, slot).active_cycles += 1;
+    }
+
+    /// Charges one stall cycle.
+    #[inline]
+    pub fn stall(&mut self, core: usize, slot: usize, cause: StallCause) {
+        let c = self.at(core, slot);
+        match cause {
+            StallCause::ImConflict => c.stall_im += 1,
+            StallCause::DmConflict => c.stall_dm += 1,
+            StallCause::LoadUseHazard => c.stall_hazard += 1,
+        }
+    }
+
+    /// Charges one bubble cycle.
+    #[inline]
+    pub fn bubble(&mut self, core: usize, slot: usize) {
+        self.at(core, slot).bubbles += 1;
+    }
+
+    /// Records one retired instruction.
+    #[inline]
+    pub fn retire(&mut self, core: usize, slot: usize) {
+        self.at(core, slot).instructions += 1;
+    }
+
+    /// Records one retired sync instruction.
+    #[inline]
+    pub fn sync_op(&mut self, core: usize, slot: usize) {
+        self.at(core, slot).sync_ops += 1;
+    }
+
+    /// Records one issued sleep.
+    #[inline]
+    pub fn sleep(&mut self, core: usize, slot: usize) {
+        self.at(core, slot).sleeps += 1;
+    }
+
+    /// Charges `cycles` gated cycles to the phase that issued the sleep.
+    #[inline]
+    pub fn gated(&mut self, core: usize, slot: usize, cycles: u64) {
+        self.at(core, slot).gated_cycles += cycles;
+    }
+
+    /// The slot index collecting unmapped addresses.
+    pub fn unmapped_slot(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Name of a slot.
+    fn slot_name(&self, slot: usize) -> &str {
+        self.names.get(slot).map_or(UNMAPPED_PHASE, String::as_str)
+    }
+
+    /// Total active cycles attributed to `core` across all phases.
+    pub fn active_total(&self, core: usize) -> u64 {
+        self.rows[core].iter().map(|c| c.active_cycles).sum()
+    }
+
+    /// All non-empty rows, core-major then phase order.
+    pub fn rows(&self) -> Vec<PhaseRow> {
+        let mut out = Vec::new();
+        for (core, phases) in self.rows.iter().enumerate() {
+            for (slot, counters) in phases.iter().enumerate() {
+                if !counters.is_empty() {
+                    out.push(PhaseRow {
+                        core,
+                        phase: self.slot_name(slot).to_string(),
+                        counters: *counters,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-phase totals summed over all cores, in phase order, skipping
+    /// empty phases.
+    pub fn phase_totals(&self) -> Vec<(String, PhaseCounters)> {
+        let slots = self.names.len() + 1;
+        let mut totals = vec![PhaseCounters::default(); slots];
+        for phases in &self.rows {
+            for (slot, counters) in phases.iter().enumerate() {
+                totals[slot].add(counters);
+            }
+        }
+        totals
+            .into_iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_empty())
+            .map(|(slot, c)| (self.slot_name(slot).to_string(), c))
+            .collect()
+    }
+
+    /// Renders the profile as an aligned text table.
+    pub fn render(&self) -> String {
+        let rows = self.rows();
+        let mut out = String::new();
+        out.push_str(
+            "core  phase            instrs    active  stall-im  stall-dm    hazard   bubbles     gated  syncs  sleeps\n",
+        );
+        for row in &rows {
+            let c = &row.counters;
+            out.push_str(&format!(
+                "{:>4}  {:<14} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>7}\n",
+                row.core,
+                row.phase,
+                c.instructions,
+                c.active_cycles,
+                c.stall_im,
+                c.stall_dm,
+                c.stall_hazard,
+                c.bubbles,
+                c.gated_cycles,
+                c.sync_ops,
+                c.sleeps,
+            ));
+        }
+        if rows.is_empty() {
+            out.push_str("(no attributed cycles)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiler_attributes_to_core_and_phase() {
+        let mut p = PhaseProfiler::new(2, vec!["mf".into(), "classify".into()]);
+        p.active(0, 0);
+        p.active(0, 0);
+        p.retire(0, 0);
+        p.active(0, 1);
+        p.stall(1, 1, StallCause::DmConflict);
+        p.gated(1, p.unmapped_slot(), 50);
+
+        assert_eq!(p.active_total(0), 3);
+        assert_eq!(p.active_total(1), 0);
+
+        let rows = p.rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].phase, "mf");
+        assert_eq!(rows[0].counters.active_cycles, 2);
+        assert_eq!(rows[0].counters.instructions, 1);
+        assert_eq!(rows[1].phase, "classify");
+        assert_eq!(rows[2].core, 1);
+        assert_eq!(rows[2].counters.stall_dm, 1);
+        assert_eq!(rows[3].phase, UNMAPPED_PHASE);
+        assert_eq!(rows[3].counters.gated_cycles, 50);
+
+        let totals = p.phase_totals();
+        assert_eq!(totals.len(), 3);
+        assert_eq!(totals[0].0, "mf");
+        assert_eq!(totals[0].1.active_cycles, 2);
+
+        let table = p.render();
+        assert!(table.contains("classify"));
+        assert!(table.contains(UNMAPPED_PHASE));
+    }
+}

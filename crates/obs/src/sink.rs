@@ -1,0 +1,19 @@
+//! The pluggable sink interface.
+
+use crate::event::Event;
+
+/// A consumer of the recorder's event stream.
+///
+/// Sinks receive every event the recorder emits, in cycle order. The
+/// built-in sinks ([`CountingSink`](crate::CountingSink),
+/// [`TraceJsonSink`](crate::TraceJsonSink)) implement this; callers can
+/// attach their own through
+/// [`Obs::add_sink`](crate::Obs::add_sink).
+pub trait EventSink {
+    /// Called for every recorded event.
+    fn on_event(&mut self, cycle: u64, event: &Event);
+
+    /// Called once when the simulation ends, with the final cycle, so
+    /// sinks can close open intervals.
+    fn finish(&mut self, _final_cycle: u64) {}
+}

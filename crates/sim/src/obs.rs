@@ -1,0 +1,95 @@
+//! The simulator's bridge to the observability layer.
+//!
+//! With the default `obs` feature the module re-exports [`wbsn_obs`]'s
+//! handle and types, so `Platform` instruments its cycle loops through
+//! real hooks. With the feature disabled it defines a zero-sized stub
+//! with the identical method surface whose hooks compile to nothing, so
+//! every call site in `platform.rs` stays unconditional either way.
+
+#[cfg(feature = "obs")]
+pub use wbsn_obs::{
+    AdcEvent, CountingSink, Event, EventSink, Histogram, Obs, ObsConfig, ObsCore, ObsSummary,
+    PhaseCounters, PhaseEvent, PhaseProfiler, PhaseRow, PowerEvent, StallCause, SyncEvent,
+    TimedEvent, TraceJsonSink, UNMAPPED_PHASE,
+};
+
+#[cfg(not(feature = "obs"))]
+mod stub {
+    use wbsn_core::SyncOutcome;
+    use wbsn_isa::SyncKind;
+
+    /// Stall-cause taxonomy (stub mirror of `wbsn_obs::StallCause`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum StallCause {
+        /// Lost instruction-memory arbitration.
+        ImConflict,
+        /// Lost data-memory arbitration.
+        DmConflict,
+        /// Load-use hazard interlock.
+        LoadUseHazard,
+    }
+
+    /// Inert stand-in for the observability handle: every hook is a
+    /// no-op and the recorder is never present.
+    #[derive(Debug, Default)]
+    pub struct Obs;
+
+    impl Obs {
+        /// A disabled handle.
+        pub const fn off() -> Obs {
+            Obs
+        }
+
+        /// Always false without the `obs` feature.
+        pub fn enabled(&self) -> bool {
+            false
+        }
+
+        /// No-op hook.
+        #[inline(always)]
+        pub fn active_cycle(&mut self, _cycle: u64, _core: usize, _pc: u32) {}
+
+        /// No-op hook.
+        #[inline(always)]
+        pub fn stall(&mut self, _cycle: u64, _core: usize, _cause: StallCause) {}
+
+        /// No-op hook.
+        #[inline(always)]
+        pub fn bubble(&mut self, _cycle: u64, _core: usize) {}
+
+        /// No-op hook.
+        #[inline(always)]
+        pub fn retire(&mut self, _cycle: u64, _core: usize) {}
+
+        /// No-op hook.
+        #[inline(always)]
+        pub fn sync_op(&mut self, _cycle: u64, _core: usize, _kind: SyncKind, _point: u16) {}
+
+        /// No-op hook.
+        #[inline(always)]
+        pub fn sleep_op(&mut self, _cycle: u64, _core: usize) {}
+
+        /// No-op hook.
+        #[inline(always)]
+        pub fn sync_outcome(&mut self, _cycle: u64, _outcome: &SyncOutcome) {}
+
+        /// No-op hook.
+        #[inline(always)]
+        pub fn adc_sample(&mut self, _cycle: u64, _mask: u16) {}
+
+        /// No-op hook.
+        #[inline(always)]
+        pub fn im_access(&mut self, _cycle: u64, _bank: usize) {}
+
+        /// No-op hook.
+        #[inline(always)]
+        pub fn dm_access(&mut self, _cycle: u64, _bank: usize) {}
+
+        /// No-op hook.
+        #[inline(always)]
+        pub fn finish(&mut self, _cycle: u64) {}
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+pub use stub::{Obs, StallCause};

@@ -11,9 +11,12 @@ use crate::cpu::{Core, MemIntent, Retire};
 use crate::error::{Fault, FaultKind, SimError};
 use crate::memory::{DataMemory, InstrMemory};
 use crate::mmio::MmioReg;
+#[cfg(feature = "obs")]
+use crate::obs::ObsConfig;
+use crate::obs::{Obs, StallCause};
 use crate::stats::SimStats;
-use crate::trace::{TraceEvent, Tracer};
-use crate::watchdog::{CoreDump, PointDump, PostMortem, WatchdogTrip};
+use crate::trace::{StallRecord, TraceEvent, Tracer};
+use crate::watchdog::{CoreDump, PhaseAttribution, PointDump, PostMortem, WatchdogTrip};
 use crate::xbar::{arbitrate_into, Grant, Request};
 
 /// Why a [`Platform::run`] call returned.
@@ -97,6 +100,9 @@ pub struct Platform {
     adc: Adc,
     stats: SimStats,
     tracer: Option<Tracer>,
+    /// Observability recorder; a disabled handle is a `None` check per
+    /// hook (and a no-op stub without the `obs` feature).
+    obs: Obs,
     breakpoints: Vec<u32>,
     watchpoints: Vec<u32>,
     watch_hit: Option<(usize, u32)>,
@@ -195,6 +201,7 @@ impl Platform {
             adc,
             stats,
             tracer: None,
+            obs: Obs::off(),
             breakpoints: Vec::new(),
             watchpoints: Vec::new(),
             watch_hit: None,
@@ -272,6 +279,36 @@ impl Platform {
     /// The retirement trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Attaches an observability recorder: from the next cycle on, the
+    /// platform emits the typed event stream (synchronizer, power,
+    /// phase, ADC, stall runs) into the sinks selected by `config`.
+    ///
+    /// Call [`Platform::finish_obs`] after the last cycle to flush open
+    /// stall runs and gated intervals before reading results.
+    #[cfg(feature = "obs")]
+    pub fn enable_obs(&mut self, config: ObsConfig) {
+        self.obs.enable(self.config.cores, config);
+    }
+
+    /// The observability handle (disabled unless
+    /// [`Platform::enable_obs`] was called; always inert without the
+    /// `obs` feature).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The observability handle, mutable (for attaching custom sinks).
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// Ends the observation: flushes open stall runs, attributes open
+    /// gated intervals, and lets sinks close open timeline slices.
+    /// Idempotent; a no-op when observability is disabled.
+    pub fn finish_obs(&mut self) {
+        self.obs.finish(self.stats.cycles);
     }
 
     /// Adds an instruction breakpoint: [`Platform::run`] stops with
@@ -359,13 +396,48 @@ impl Platform {
             .as_ref()
             .map(|t| t.events().copied().collect())
             .unwrap_or_default();
+        let (obs_tail, phase_profile) = self.obs_post_mortem();
         PostMortem {
             cycle: self.stats.cycles,
             trip,
             cores,
             points,
             trace_tail,
+            obs_tail,
+            phase_profile,
         }
+    }
+
+    /// The observability half of a post-mortem: the rendered tail of the
+    /// event ring and the per-(core, phase) attribution, when a recorder
+    /// with those sinks is attached.
+    #[cfg(feature = "obs")]
+    fn obs_post_mortem(&self) -> (Vec<String>, Vec<PhaseAttribution>) {
+        let Some(recorder) = self.obs.recorder() else {
+            return (Vec::new(), Vec::new());
+        };
+        let obs_tail = recorder.tail_rendered(16);
+        let phase_profile = recorder
+            .profiler()
+            .map(|profiler| {
+                profiler
+                    .rows()
+                    .into_iter()
+                    .map(|row| PhaseAttribution {
+                        core: row.core,
+                        phase: row.phase,
+                        active_cycles: row.counters.active_cycles,
+                        instructions: row.counters.instructions,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        (obs_tail, phase_profile)
+    }
+
+    #[cfg(not(feature = "obs"))]
+    fn obs_post_mortem(&self) -> (Vec<String>, Vec<PhaseAttribution>) {
+        (Vec::new(), Vec::new())
     }
 
     /// The accumulated statistics.
@@ -589,6 +661,7 @@ impl Platform {
         let irq_mask = self.adc.tick(cycle);
         if irq_mask != 0 {
             self.stats.adc_samples += 1;
+            self.obs.adc_sample(cycle, irq_mask);
             for source in 0..16 {
                 if irq_mask & (1 << source) != 0 {
                     self.synchronizer.raise_irq(source);
@@ -617,9 +690,11 @@ impl Platform {
             }
             cs.active_cycles += 1;
             cs.window_active += 1;
+            self.obs.active_cycle(cycle, idx, slot.core.pc());
             if slot.bubble {
                 slot.bubble = false;
                 cs.bubbles += 1;
+                self.obs.bubble(cycle, idx);
                 continue;
             }
             if slot.held.is_some() {
@@ -679,11 +754,22 @@ impl Platform {
                         kind: FaultKind::BadInstruction,
                     }))?;
                     debug_assert!(self.im.fetch(pc).is_some());
+                    self.obs
+                        .im_access(cycle, self.scratch.fetch_reqs[req_idx].bank);
                     self.slots[slot_idx].held = Some(instr);
                 }
                 Grant::Stall => {
                     self.stats.im.conflicts += 1;
                     self.stats.cores[slot_idx].stall_im += 1;
+                    self.obs.stall(cycle, slot_idx, StallCause::ImConflict);
+                    if let Some(tracer) = &mut self.tracer {
+                        tracer.record_stall(StallRecord {
+                            cycle,
+                            core: slot_idx,
+                            pc,
+                            cause: StallCause::ImConflict,
+                        });
+                    }
                 }
             }
         }
@@ -700,7 +786,17 @@ impl Platform {
             let Some(decoded) = slot.held else { continue };
             if slot.core.has_load_use_hazard_mask(decoded.src_mask) {
                 slot.core.clear_hazard();
+                let pc = slot.core.pc();
                 self.stats.cores[idx].stall_hazard += 1;
+                self.obs.stall(cycle, idx, StallCause::LoadUseHazard);
+                if let Some(tracer) = &mut self.tracer {
+                    tracer.record_stall(StallRecord {
+                        cycle,
+                        core: idx,
+                        pc,
+                        cause: StallCause::LoadUseHazard,
+                    });
+                }
                 continue;
             }
             if decoded.mem == MemClass::None {
@@ -788,6 +884,7 @@ impl Platform {
                     if crossbar {
                         self.stats.xbar_dm += 1;
                     }
+                    self.obs.dm_access(cycle, location.bank);
                     match store {
                         Some(value) => {
                             self.stats.dm.writes[location.bank] += 1;
@@ -813,6 +910,7 @@ impl Platform {
                         self.stats.xbar_dm += 1;
                     }
                     self.stats.dm.broadcasts += 1;
+                    self.obs.dm_access(cycle, location.bank);
                     self.scratch
                         .ready
                         .push((slot_idx, Ready::Load(self.dm.read(location))));
@@ -820,6 +918,15 @@ impl Platform {
                 Grant::Stall => {
                     self.stats.dm.conflicts += 1;
                     self.stats.cores[slot_idx].stall_dm += 1;
+                    self.obs.stall(cycle, slot_idx, StallCause::DmConflict);
+                    if let Some(tracer) = &mut self.tracer {
+                        tracer.record_stall(StallRecord {
+                            cycle,
+                            core: slot_idx,
+                            pc: self.slots[slot_idx].core.pc(),
+                            cause: StallCause::DmConflict,
+                        });
+                    }
                 }
             }
         }
@@ -836,9 +943,16 @@ impl Platform {
             };
             self.stats.cores[slot_idx].instructions += 1;
             self.instr_retired += 1;
+            self.obs.retire(cycle, slot_idx);
             match instr {
-                Instr::Sync { .. } => self.stats.cores[slot_idx].sync_ops += 1,
-                Instr::Sleep => self.stats.cores[slot_idx].sleeps += 1,
+                Instr::Sync { kind, point } => {
+                    self.stats.cores[slot_idx].sync_ops += 1;
+                    self.obs.sync_op(cycle, slot_idx, kind, point);
+                }
+                Instr::Sleep => {
+                    self.stats.cores[slot_idx].sleeps += 1;
+                    self.obs.sleep_op(cycle, slot_idx);
+                }
                 _ => {}
             }
             if let Some(tracer) = &mut self.tracer {
@@ -868,6 +982,7 @@ impl Platform {
 
         // 7. Synchronizer commit: gating and wake-up.
         let outcome = self.synchronizer.commit()?;
+        self.obs.sync_outcome(cycle, &outcome);
         self.stats.sync_region_writes += outcome.memory_writes as u64;
         if !outcome.slept.is_empty() {
             self.idle_candidate = true;
@@ -896,6 +1011,7 @@ impl Platform {
         let irq_mask = self.adc.tick(cycle);
         if irq_mask != 0 {
             self.stats.adc_samples += 1;
+            self.obs.adc_sample(cycle, irq_mask);
             for source in 0..16 {
                 if irq_mask & (1 << source) != 0 {
                     self.synchronizer.raise_irq(source);
@@ -921,9 +1037,11 @@ impl Platform {
                 cs.active_cycles += 1;
                 cs.window_active += 1;
             }
+            self.obs.active_cycle(cycle, 0, self.slots[0].core.pc());
             if self.slots[0].bubble {
                 self.slots[0].bubble = false;
                 self.stats.cores[0].bubbles += 1;
+                self.obs.bubble(cycle, 0);
                 break 'exec;
             }
             if self.slots[0].held.is_none() {
@@ -939,6 +1057,7 @@ impl Platform {
                 }
                 // A lone fetch always wins its bank.
                 self.stats.im.reads[InstrMemory::bank_of(pc)] += 1;
+                self.obs.im_access(cycle, InstrMemory::bank_of(pc));
                 if crossbar {
                     self.stats.xbar_im += 1;
                 }
@@ -958,7 +1077,17 @@ impl Platform {
                 .has_load_use_hazard_mask(decoded.src_mask)
             {
                 self.slots[0].core.clear_hazard();
+                let pc = self.slots[0].core.pc();
                 self.stats.cores[0].stall_hazard += 1;
+                self.obs.stall(cycle, 0, StallCause::LoadUseHazard);
+                if let Some(tracer) = &mut self.tracer {
+                    tracer.record_stall(StallRecord {
+                        cycle,
+                        core: 0,
+                        pc,
+                        cause: StallCause::LoadUseHazard,
+                    });
+                }
                 break 'exec;
             }
             let ready = if decoded.mem == MemClass::None {
@@ -987,6 +1116,7 @@ impl Platform {
                         if crossbar {
                             self.stats.xbar_dm += 1;
                         }
+                        self.obs.dm_access(cycle, location.bank);
                         match store {
                             Some(value) => {
                                 self.stats.dm.writes[location.bank] += 1;
@@ -1039,9 +1169,16 @@ impl Platform {
             };
             self.stats.cores[0].instructions += 1;
             self.instr_retired += 1;
+            self.obs.retire(cycle, 0);
             match instr {
-                Instr::Sync { .. } => self.stats.cores[0].sync_ops += 1,
-                Instr::Sleep => self.stats.cores[0].sleeps += 1,
+                Instr::Sync { kind, point } => {
+                    self.stats.cores[0].sync_ops += 1;
+                    self.obs.sync_op(cycle, 0, kind, point);
+                }
+                Instr::Sleep => {
+                    self.stats.cores[0].sleeps += 1;
+                    self.obs.sleep_op(cycle, 0);
+                }
                 _ => {}
             }
             if let Some(tracer) = &mut self.tracer {
@@ -1070,6 +1207,7 @@ impl Platform {
 
         // Synchronizer commit: gating and wake-up.
         let outcome = self.synchronizer.commit()?;
+        self.obs.sync_outcome(cycle, &outcome);
         self.stats.sync_region_writes += outcome.memory_writes as u64;
         if !outcome.slept.is_empty() {
             self.idle_candidate = true;

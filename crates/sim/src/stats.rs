@@ -1,5 +1,6 @@
 //! Architectural event counters consumed by the power model.
 
+use wbsn_core::SyncStats;
 use wbsn_isa::{DM_BANKS, IM_BANKS};
 
 /// Per-core cycle and instruction accounting.
@@ -179,6 +180,112 @@ impl SimStats {
     }
 }
 
+/// JSON shape for an `f64`: always carries a decimal point or exponent
+/// so the value round-trips as a float; non-finite values become
+/// `null`.
+fn jf(value: f64) -> String {
+    if !value.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{value}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn bank_json(bank: &BankStats) -> String {
+    let list = |values: &[u64]| -> String {
+        let items: Vec<String> = values.iter().map(u64::to_string).collect();
+        format!("[{}]", items.join(", "))
+    };
+    format!(
+        "{{\"reads\": {}, \"writes\": {}, \"broadcasts\": {}, \"conflicts\": {}, \"broadcast_percent\": {}}}",
+        list(&bank.reads),
+        list(&bank.writes),
+        bank.broadcasts,
+        bank.conflicts,
+        jf(bank.broadcast_percent()),
+    )
+}
+
+/// Serializes a run's statistics — [`SimStats`] plus the synchronizer's
+/// [`SyncStats`] — as a stable, schema-tagged JSON document
+/// (`wbsn-stats/1`). Key order is fixed so the output is
+/// byte-reproducible for golden-file tests and scripted consumers
+/// (`wbsn-run --stats-json`).
+pub fn stats_json(stats: &SimStats, sync: &SyncStats) -> String {
+    let mut out = String::from("{\n  \"schema\": \"wbsn-stats/1\",\n");
+    out.push_str(&format!("  \"cycles\": {},\n", stats.cycles));
+    out.push_str("  \"cores\": [\n");
+    for (idx, c) in stats.cores.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"core\": {}, \"instructions\": {}, \"active_cycles\": {}, \"stall_im\": {}, \
+             \"stall_dm\": {}, \"stall_hazard\": {}, \"bubbles\": {}, \"gated_cycles\": {}, \
+             \"sync_ops\": {}, \"sleeps\": {}, \"max_window_active\": {}, \"duty_cycle\": {}}}{}\n",
+            idx,
+            c.instructions,
+            c.active_cycles,
+            c.stall_im,
+            c.stall_dm,
+            c.stall_hazard,
+            c.bubbles,
+            c.gated_cycles,
+            c.sync_ops,
+            c.sleeps,
+            c.max_window_active.max(c.window_active),
+            jf(c.duty_cycle()),
+            if idx + 1 < stats.cores.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"im\": {},\n", bank_json(&stats.im)));
+    out.push_str(&format!("  \"dm\": {},\n", bank_json(&stats.dm)));
+    out.push_str(&format!("  \"xbar_im\": {},\n", stats.xbar_im));
+    out.push_str(&format!("  \"xbar_dm\": {},\n", stats.xbar_dm));
+    out.push_str(&format!(
+        "  \"sync_region_reads\": {},\n",
+        stats.sync_region_reads
+    ));
+    out.push_str(&format!(
+        "  \"sync_region_writes\": {},\n",
+        stats.sync_region_writes
+    ));
+    out.push_str(&format!("  \"mmio_reads\": {},\n", stats.mmio_reads));
+    out.push_str(&format!("  \"mmio_writes\": {},\n", stats.mmio_writes));
+    out.push_str(&format!("  \"adc_samples\": {},\n", stats.adc_samples));
+    out.push_str(&format!("  \"adc_overruns\": {},\n", stats.adc_overruns));
+    out.push_str(&format!(
+        "  \"total_active_cycles\": {},\n",
+        stats.total_active_cycles()
+    ));
+    out.push_str(&format!(
+        "  \"runtime_overhead_percent\": {},\n",
+        jf(stats.runtime_overhead_percent())
+    ));
+    out.push_str(&format!(
+        "  \"worst_window_active\": {},\n",
+        stats.worst_window_active()
+    ));
+    out.push_str(&format!(
+        "  \"sync\": {{\"ops\": {}, \"writes\": {}, \"merged\": {}, \"fires\": {}, \
+         \"sleeps\": {}, \"fallthroughs\": {}, \"irq_wakes\": {}, \"lost_wakes\": {}, \
+         \"invariant_faults\": {}}}\n",
+        sync.ops,
+        sync.writes,
+        sync.merged,
+        sync.fires,
+        sync.sleeps,
+        sync.fallthroughs,
+        sync.irq_wakes,
+        sync.lost_wakes,
+        sync.invariant_faults,
+    ));
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,5 +335,39 @@ mod tests {
         s.cores[0].max_window_active = 10;
         s.cores[1].window_active = 42;
         assert_eq!(s.worst_window_active(), 42);
+    }
+
+    #[test]
+    fn stats_json_is_stable_and_typed() {
+        let mut s = SimStats::new(2);
+        s.cycles = 100;
+        s.cores[0].instructions = 40;
+        s.cores[0].active_cycles = 50;
+        s.cores[1].gated_cycles = 100;
+        s.im.reads[0] = 40;
+        let sync = SyncStats {
+            ops: 3,
+            writes: 2,
+            merged: 1,
+            ..SyncStats::default()
+        };
+        let text = stats_json(&s, &sync);
+        assert!(text.contains("\"schema\": \"wbsn-stats/1\""));
+        assert!(text.contains("\"cycles\": 100"));
+        assert!(
+            text.contains("\"duty_cycle\": 1.0"),
+            "floats keep a decimal point"
+        );
+        assert!(text.contains("\"merged\": 1"));
+        // Byte-stable: the same inputs serialize identically.
+        assert_eq!(text, stats_json(&s, &sync));
+    }
+
+    #[test]
+    fn jf_shapes_floats() {
+        assert_eq!(jf(2.0), "2.0");
+        assert_eq!(jf(0.25), "0.25");
+        assert_eq!(jf(f64::NAN), "null");
+        assert_eq!(jf(f64::INFINITY), "null");
     }
 }

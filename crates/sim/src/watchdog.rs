@@ -20,6 +20,10 @@
 //! [`crate::SimError::Watchdog`] carrying a [`PostMortem`]: per-core
 //! architectural state, every synchronization-point word with its armed
 //! bit, and — when tracing is enabled — the last retired instructions.
+//! When an observability recorder ([`crate::Platform::enable_obs`]) is
+//! attached, the dump also carries the tail of the typed event stream
+//! and the per-(core, phase) cycle attribution, so the report names the
+//! mapping phase each core died in.
 
 use std::fmt;
 
@@ -84,6 +88,20 @@ pub struct PointDump {
     pub armed: bool,
 }
 
+/// Cycles and instructions attributed to one `(core, phase)` pair at
+/// trip time (from the observability profiler).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseAttribution {
+    /// The core.
+    pub core: usize,
+    /// The mapping-phase (section) name.
+    pub phase: String,
+    /// Active cycles the core spent in the phase.
+    pub active_cycles: u64,
+    /// Instructions the core retired in the phase.
+    pub instructions: u64,
+}
+
 /// Everything the watchdog captured when it tripped.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PostMortem {
@@ -98,6 +116,13 @@ pub struct PostMortem {
     /// The last retired instructions, oldest first (empty unless
     /// tracing was enabled).
     pub trace_tail: Vec<TraceEvent>,
+    /// The tail of the observability event stream, rendered one line
+    /// per event, oldest first (empty unless a recorder with an event
+    /// ring was attached).
+    pub obs_tail: Vec<String>,
+    /// Per-(core, phase) cycle attribution (empty unless a recorder
+    /// with the profiler was attached).
+    pub phase_profile: Vec<PhaseAttribution>,
 }
 
 impl fmt::Display for PostMortem {
@@ -130,6 +155,22 @@ impl fmt::Display for PostMortem {
             writeln!(f, "  last retirements:")?;
             for event in &self.trace_tail {
                 writeln!(f, "    {event}")?;
+            }
+        }
+        if !self.obs_tail.is_empty() {
+            writeln!(f, "  last events:")?;
+            for line in &self.obs_tail {
+                writeln!(f, "    {line}")?;
+            }
+        }
+        if !self.phase_profile.is_empty() {
+            writeln!(f, "  phase attribution:")?;
+            for row in &self.phase_profile {
+                writeln!(
+                    f,
+                    "    core {} in {}: {} active cycles, {} instructions",
+                    row.core, row.phase, row.active_cycles, row.instructions
+                )?;
             }
         }
         Ok(())
@@ -175,6 +216,13 @@ mod tests {
                 armed: true,
             }],
             trace_tail: Vec::new(),
+            obs_tail: vec!["[        40] core1 slept".to_string()],
+            phase_profile: vec![PhaseAttribution {
+                core: 1,
+                phase: "delineate".to_string(),
+                active_cycles: 30,
+                instructions: 12,
+            }],
         };
         let text = pm.to_string();
         assert!(text.contains("deadlock"));
@@ -182,6 +230,9 @@ mod tests {
         assert!(text.contains("core 1: pc 0x0010 gated"));
         assert!(text.contains("counter 3 armed"));
         assert!(!text.contains("core 2"), "absent cores are omitted");
+        assert!(text.contains("last events:"));
+        assert!(text.contains("core1 slept"));
+        assert!(text.contains("core 1 in delineate: 30 active cycles, 12 instructions"));
     }
 
     #[test]

@@ -1,0 +1,25 @@
+; Lead-0 conditioning phase of the observability demo: the slowest arm
+; of a three-core lock-step group (Fig. 3-b shape). Each core enters the
+; barrier with SINC, runs a data-dependent body of its own length, and
+; leaves through SDEC + SLEEP; the synchronizer wakes everyone when the
+; last one arrives. Build with:
+;   wbsn-asm --lint -o demo.img \
+;     examples/asm/lead0.asm:0 examples/asm/lead1.asm:1 examples/asm/lead2.asm:2 \
+;     --entry 0=lead0 --entry 1=lead1 --entry 2=lead2
+.equ ROUNDS, 4
+.equ BODY, 60
+.equ STAMP, 0x100
+    li r3, ROUNDS
+round:
+    sinc 0
+    li r1, BODY
+body:
+    addi r1, r1, -1
+    bne r1, r0, body
+    sdec 0
+    sleep
+    addi r3, r3, -1
+    bne r3, r0, round
+    li r2, 1
+    sw r2, STAMP(r0)
+    halt

@@ -1,0 +1,20 @@
+; Lead-1 conditioning phase: the fastest arm of the group. It reaches
+; the barrier first and spends most of its time clock-gated — the sleep
+; slices on its Perfetto track.
+.equ ROUNDS, 4
+.equ BODY, 5
+.equ STAMP, 0x101
+    li r3, ROUNDS
+round:
+    sinc 0
+    li r1, BODY
+body:
+    addi r1, r1, -1
+    bne r1, r0, body
+    sdec 0
+    sleep
+    addi r3, r3, -1
+    bne r3, r0, round
+    li r2, 1
+    sw r2, STAMP(r0)
+    halt

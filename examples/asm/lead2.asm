@@ -1,0 +1,18 @@
+; Lead-2 conditioning phase: the middle arm of the group.
+.equ ROUNDS, 4
+.equ BODY, 30
+.equ STAMP, 0x102
+    li r3, ROUNDS
+round:
+    sinc 0
+    li r1, BODY
+body:
+    addi r1, r1, -1
+    bne r1, r0, body
+    sdec 0
+    sleep
+    addi r3, r3, -1
+    bne r3, r0, round
+    li r2, 1
+    sw r2, STAMP(r0)
+    halt

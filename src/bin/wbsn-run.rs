@@ -14,17 +14,22 @@
 //!   --trace <N>          keep and print the last N retirements
 //!   --break <pc>         stop when any core is about to execute pc (repeatable)
 //!   --watch <addr>       stop after any core writes addr (repeatable)
+//!   --trace-json <path>  write a Chrome/Perfetto trace_event timeline
+//!                        (open it in ui.perfetto.dev)
+//!   --profile            print the per-(core, phase) cycle attribution
+//!                        table and event-stream summary after the run
+//!   --stats-json <path>  write SimStats + SyncStats as stable JSON
 //! ```
 
 use std::process::ExitCode;
 
 use wbsn::core::mapping::verify::{verify_image, VerifyConfig};
-use wbsn::isa::image;
-use wbsn::sim::{Platform, PlatformConfig};
+use wbsn::isa::{image, PhaseTable};
+use wbsn::sim::{stats_json, ObsConfig, Platform, PlatformConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: wbsn-run [--single-core] [--cycles N] [--check] [--watchdog-cycles N] [--dump addr:len]... [--trace N] [--break pc]... [--watch addr]... <image.img>"
+        "usage: wbsn-run [--single-core] [--cycles N] [--check] [--watchdog-cycles N] [--dump addr:len]... [--trace N] [--break pc]... [--watch addr]... [--trace-json path] [--profile] [--stats-json path] <image.img>"
     );
     ExitCode::from(2)
 }
@@ -38,6 +43,9 @@ fn main() -> ExitCode {
     let mut trace: Option<usize> = None;
     let mut breakpoints: Vec<u32> = Vec::new();
     let mut watchpoints: Vec<u32> = Vec::new();
+    let mut trace_json: Option<String> = None;
+    let mut profile = false;
+    let mut stats_json_path: Option<String> = None;
     let mut input: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
@@ -77,6 +85,15 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
+            "--trace-json" => match args.next() {
+                Some(path) => trace_json = Some(path),
+                None => return usage(),
+            },
+            "--profile" => profile = true,
+            "--stats-json" => match args.next() {
+                Some(path) => stats_json_path = Some(path),
+                None => return usage(),
+            },
             "-h" | "--help" => return usage(),
             path => input = Some(path.to_string()),
         }
@@ -143,6 +160,15 @@ fn main() -> ExitCode {
     for addr in watchpoints {
         platform.add_watchpoint(addr);
     }
+    if profile || trace_json.is_some() {
+        platform.enable_obs(ObsConfig {
+            counting: true,
+            profile,
+            trace: trace_json.is_some(),
+            ring: 256,
+            phases: Some(PhaseTable::from_image(&linked)),
+        });
+    }
 
     match platform.run(cycles) {
         Ok(exit) => {
@@ -181,8 +207,33 @@ fn main() -> ExitCode {
                 eprintln!("--- last retirements ---");
                 eprint!("{}", tracer.listing());
             }
+            // A partial timeline is still worth opening in Perfetto:
+            // flush whatever the recorder saw before the failure.
+            platform.finish_obs();
+            if let Some(path) = &trace_json {
+                if let Err(code) = write_trace_json(&platform, path) {
+                    return code;
+                }
+            }
             return ExitCode::FAILURE;
         }
+    }
+    platform.finish_obs();
+    if let Some(path) = &trace_json {
+        if let Err(code) = write_trace_json(&platform, path) {
+            return code;
+        }
+    }
+    if profile {
+        print_profile(&platform);
+    }
+    if let Some(path) = &stats_json_path {
+        let json = stats_json(platform.stats(), &platform.synchronizer().stats());
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("wbsn-run: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("stats-json: wrote {path}");
     }
 
     for (addr, len) in dumps {
@@ -200,6 +251,60 @@ fn main() -> ExitCode {
         print!("{}", tracer.listing());
     }
     ExitCode::SUCCESS
+}
+
+fn write_trace_json(platform: &Platform, path: &str) -> Result<(), ExitCode> {
+    let Some(json) = platform.obs().recorder().and_then(|r| r.trace_json()) else {
+        return Ok(());
+    };
+    let events = platform
+        .obs()
+        .recorder()
+        .and_then(|r| r.trace_sink())
+        .map_or(0, |s| s.len());
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("wbsn-run: cannot write {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    println!("trace-json: wrote {events} events to {path}");
+    Ok(())
+}
+
+fn print_profile(platform: &Platform) {
+    let Some(recorder) = platform.obs().recorder() else {
+        return;
+    };
+    if let Some(profiler) = recorder.profiler() {
+        println!("--- phase profile ---");
+        print!("{}", profiler.render());
+    }
+    if let Some(counting) = recorder.counting() {
+        println!("--- event summary ---");
+        let s = counting.summary();
+        println!(
+            "sleeps: {} (p50 {} / p99 {} cycles), sync gap p50 {} / p99 {} cycles",
+            s.sleep_count,
+            s.sleep_p50_cycles,
+            s.sleep_p99_cycles,
+            s.sync_gap_p50_cycles,
+            s.sync_gap_p99_cycles
+        );
+        println!(
+            "stalls: im {} / dm {} / hazard {} cycles (run p99 {})",
+            s.stall_im_cycles, s.stall_dm_cycles, s.stall_hazard_cycles, s.stall_run_p99_cycles
+        );
+        if let Some((cause, cycles)) = counting.worst_stall_cause() {
+            println!("worst stall cause: {cause} ({cycles} cycles)");
+        }
+        println!(
+            "releases {}, merges saved {}, fallthroughs {}, adc samples {}, irq forwards {}",
+            counting.releases,
+            counting.merges_saved,
+            counting.fallthroughs,
+            counting.adc_samples,
+            counting.irq_forwards
+        );
+    }
 }
 
 fn parse_int(text: &str) -> Result<u32, std::num::ParseIntError> {

@@ -61,6 +61,69 @@ fn assemble_run_disassemble_round_trip() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The observability flags end to end on the committed demo sources:
+/// assemble `examples/asm/`, run with `--trace-json`/`--profile`/
+/// `--stats-json`, and validate both JSON artifacts with the obs
+/// crate's own parser (the same check CI's `obs-smoke` job performs
+/// with `wbsn-trace-check`).
+#[test]
+fn observability_flags_round_trip() {
+    let dir = std::env::temp_dir().join(format!("wbsn-obs-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let img = dir.join("demo.img");
+    let trace = dir.join("trace.json");
+    let stats = dir.join("stats.json");
+    let asm_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/asm");
+
+    let asm = Command::new(env!("CARGO_BIN_EXE_wbsn-asm"))
+        .arg("--lint")
+        .arg("-o")
+        .arg(&img)
+        .args([
+            "--entry", "0=lead0", "--entry", "1=lead1", "--entry", "2=lead2",
+        ])
+        .arg(format!("{}:0", asm_dir.join("lead0.asm").display()))
+        .arg(format!("{}:1", asm_dir.join("lead1.asm").display()))
+        .arg(format!("{}:2", asm_dir.join("lead2.asm").display()))
+        .output()
+        .expect("wbsn-asm runs");
+    assert!(asm.status.success(), "asm: {asm:?}");
+
+    let run = Command::new(env!("CARGO_BIN_EXE_wbsn-run"))
+        .arg("--trace-json")
+        .arg(&trace)
+        .arg("--profile")
+        .arg("--stats-json")
+        .arg(&stats)
+        .arg(&img)
+        .output()
+        .expect("wbsn-run runs");
+    assert!(run.status.success(), "run: {run:?}");
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(stdout.contains("AllHalted"), "{stdout}");
+    assert!(stdout.contains("phase profile"), "{stdout}");
+    assert!(stdout.contains("lead0"), "{stdout}");
+    assert!(stdout.contains("sleeps:"), "{stdout}");
+
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    let root = wbsn_obs::json::parse(&trace_text).expect("valid trace JSON");
+    let events = root
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents");
+    assert!(!events.is_empty());
+    assert!(trace_text.contains("\"lead1\""), "phase slices are named");
+
+    let stats_text = std::fs::read_to_string(&stats).expect("stats written");
+    let root = wbsn_obs::json::parse(&stats_text).expect("valid stats JSON");
+    assert_eq!(
+        root.get("schema").and_then(|v| v.as_str()),
+        Some("wbsn-stats/1")
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn bad_inputs_fail_cleanly() {
     let missing = Command::new(env!("CARGO_BIN_EXE_wbsn-asm"))

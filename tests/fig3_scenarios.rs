@@ -4,8 +4,8 @@
 use wbsn::core::mapping::verify::{verify_image, VerifyConfig, VerifyDiag};
 use wbsn::core::{CoreId, SyncPointValue, Synchronizer};
 use wbsn::isa::syncflow::{self, SyncFlowDiag};
-use wbsn::isa::{assemble_text, Linker, Section, SyncKind};
-use wbsn::sim::{Platform, PlatformConfig, RunExit, SimError, WatchdogTrip};
+use wbsn::isa::{assemble_text, Linker, PhaseTable, Section, SyncKind};
+use wbsn::sim::{ObsConfig, Platform, PlatformConfig, RunExit, SimError, WatchdogTrip};
 
 fn core(i: usize) -> CoreId {
     CoreId::new(i).expect("test core in range")
@@ -158,6 +158,7 @@ fn orphaned_snop_trips_the_runtime_watchdog() {
         Platform::new(PlatformConfig::multi_core(), &image).expect("platform builds");
     platform.set_watchdog(50_000);
     platform.enable_trace(32, 0xFF);
+    platform.enable_obs(ObsConfig::full(Some(PhaseTable::from_image(&image))));
 
     let err = platform
         .run(10_000_000)
@@ -172,9 +173,37 @@ fn orphaned_snop_trips_the_runtime_watchdog() {
         !pm.trace_tail.is_empty(),
         "post-mortem carries the trace tail"
     );
+    // The observability recorder feeds the dump: the event-stream tail
+    // must show the consumer registering and gating on point 3, and the
+    // profiler must attribute each core's cycles to its section.
+    assert!(
+        !pm.obs_tail.is_empty(),
+        "post-mortem carries the event tail"
+    );
+    assert!(
+        pm.obs_tail.iter().any(|line| line.contains("core1 slept")),
+        "{:?}",
+        pm.obs_tail
+    );
+    assert!(
+        pm.phase_profile
+            .iter()
+            .any(|row| row.core == 0 && row.phase == "producer" && row.active_cycles > 0),
+        "{:?}",
+        pm.phase_profile
+    );
+    assert!(
+        pm.phase_profile
+            .iter()
+            .any(|row| row.core == 1 && row.phase == "consumer" && row.instructions > 0),
+        "{:?}",
+        pm.phase_profile
+    );
     let rendered = pm.to_string();
     assert!(rendered.contains("deadlock"), "{rendered}");
     assert!(rendered.contains("core 1"), "{rendered}");
+    assert!(rendered.contains("last events:"), "{rendered}");
+    assert!(rendered.contains("phase attribution:"), "{rendered}");
 }
 
 /// The merge rule: several synchronization instructions issued in the

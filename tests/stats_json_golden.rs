@@ -1,0 +1,75 @@
+//! Golden-file coverage of the machine-readable statistics record
+//! (`wbsn-stats/1`, the `wbsn-run --stats-json` payload): the simulator
+//! is deterministic, so the JSON for a fixed program is byte-stable.
+//! Key order, float shaping and schema are all under test — a mismatch
+//! means the schema changed and consumers must be told (bump the schema
+//! tag, then re-bless with `WBSN_BLESS=1 cargo test --test
+//! stats_json_golden`).
+
+use wbsn::isa::{assemble_text, Linker, Section};
+use wbsn::sim::{stats_json, Platform, PlatformConfig, RunExit};
+use wbsn_obs::json;
+
+const GOLDEN_PATH: &str = "tests/golden/stats_fig3b.json";
+
+fn fig3b_stats_json() -> String {
+    let mut linker = Linker::new();
+    for (idx, body_len) in [60u32, 5, 30].into_iter().enumerate() {
+        let src = format!(
+            "sinc 0\n\
+             li r1, {body_len}\n\
+             body: addi r1, r1, -1\n\
+             bne r1, r0, body\n\
+             sdec 0\n\
+             sleep\n\
+             li r2, 1\n\
+             sw r2, {stamp}(r0)\n\
+             halt\n",
+            stamp = 0x100 + idx,
+        );
+        let program = assemble_text(&src).expect("assembles");
+        let name = format!("phase{idx}");
+        linker.add_section(Section::in_bank(&name, program, idx));
+        linker.set_entry(idx, &name);
+    }
+    let image = linker.link().expect("links");
+    let mut platform =
+        Platform::new(PlatformConfig::multi_core(), &image).expect("platform builds");
+    assert_eq!(platform.run(100_000).expect("runs"), RunExit::AllHalted);
+    stats_json(platform.stats(), &platform.synchronizer().stats())
+}
+
+#[test]
+fn stats_json_matches_the_golden_record() {
+    let actual = fig3b_stats_json();
+    if std::env::var_os("WBSN_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("golden written");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden present");
+    assert_eq!(
+        actual, golden,
+        "stats JSON drifted from {GOLDEN_PATH}; if intended, bump the \
+         schema and re-bless with WBSN_BLESS=1"
+    );
+}
+
+#[test]
+fn stats_json_is_parseable_and_carries_the_schema() {
+    let actual = fig3b_stats_json();
+    let root = json::parse(&actual).expect("valid JSON");
+    assert_eq!(
+        root.get("schema").and_then(|v| v.as_str()),
+        Some("wbsn-stats/1")
+    );
+    let cores = root
+        .get("cores")
+        .and_then(|v| v.as_arr())
+        .expect("cores array");
+    assert_eq!(cores.len(), 8);
+    assert!(root.get("sync").is_some(), "sync block present");
+    assert!(
+        root.get("cycles").and_then(|v| v.as_num()).unwrap_or(0.0) > 0.0,
+        "cycle count recorded"
+    );
+}
