@@ -13,6 +13,9 @@
 //!   host parallelism).
 //! * `--json <path>` — record path (default `BENCH_sweep.json`, or
 //!   `WBSN_SWEEP_JSON`; empty suppresses the record).
+//! * `--no-fix-cells` — drop the scheduled/forwarding variants of the
+//!   hardware-sync cells (the default grid includes them so the record
+//!   diffs the load-use stall bucket before and after each fix).
 
 use wbsn_bench::{run_sweep, BenchmarkId, ExperimentConfig, RunVariant, SweepCell, SweepOptions};
 use wbsn_kernels::ClassifierParams;
@@ -53,6 +56,7 @@ fn main() {
         .unwrap_or(60.0);
     let mut options = SweepOptions::default();
     let mut json_path = String::from("BENCH_sweep.json");
+    let mut fix_cells = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -83,6 +87,7 @@ fn main() {
                 );
             }
             "--json" => json_path = value("--json"),
+            "--no-fix-cells" => fix_cells = false,
             other => die(&format!("unknown option {other:?}")),
         }
     }
@@ -92,7 +97,7 @@ fn main() {
         ..ExperimentConfig::default()
     };
     let params = ClassifierParams::default_trained();
-    let cells: Vec<SweepCell> = benchmarks
+    let mut cells: Vec<SweepCell> = benchmarks
         .iter()
         .flat_map(|&benchmark| {
             let config = &config;
@@ -101,11 +106,30 @@ fn main() {
                 .map(move |&variant| SweepCell::new(benchmark, variant, config.clone()))
         })
         .collect();
+    if fix_cells {
+        // Scheduled and forwarding variants of every hardware-sync cell:
+        // the record pairs each with its baseline and diffs the load-use
+        // stall bucket and the power integral.
+        let baselines: Vec<SweepCell> = cells
+            .iter()
+            .filter(|c| c.variant == RunVariant::MultiCoreSync)
+            .cloned()
+            .collect();
+        for base in baselines {
+            let mut scheduled = base.clone();
+            scheduled.config.schedule = true;
+            cells.push(scheduled);
+            let mut forwarded = base.clone();
+            forwarded.config.forwarding = true;
+            cells.push(forwarded);
+        }
+    }
     eprintln!(
-        "# sweep driver — {} cells ({} benchmarks x {} variants), {} s simulated, {} workers",
+        "# sweep driver — {} cells ({} benchmarks x {} variants{}), {} s simulated, {} workers",
         cells.len(),
         benchmarks.len(),
         variants.len(),
+        if fix_cells { " + fix cells" } else { "" },
         duration_s,
         options.resolve_workers()
     );
@@ -117,21 +141,24 @@ fn main() {
     );
     for outcome in &report.outcomes {
         let (benchmark, variant) = (outcome.cell.benchmark, outcome.cell.variant);
+        let mut label = variant.label().to_string();
+        if outcome.cell.config.schedule {
+            label.push_str(" +sched");
+        }
+        if outcome.cell.config.forwarding {
+            label.push_str(" +fwd");
+        }
         match &outcome.result {
             Ok(m) => println!(
                 "{:<10} {:<14} {:>10.2} {:>8.1} {:>12.2} {:>14}",
                 benchmark.name(),
-                variant.label(),
+                label,
                 m.clock_hz / 1e6,
                 m.voltage,
                 m.power_uw(),
                 m.stats.cycles
             ),
-            Err(e) => println!(
-                "{:<10} {:<14} FAILED: {e}",
-                benchmark.name(),
-                variant.label()
-            ),
+            Err(e) => println!("{:<10} {:<14} FAILED: {e}", benchmark.name(), label),
         }
     }
 

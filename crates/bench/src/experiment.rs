@@ -120,6 +120,12 @@ pub struct ExperimentConfig {
     /// (isolates the VFS contribution — ablation for Fig. 7's
     /// discussion).
     pub disable_vfs: bool,
+    /// Run the load-latency-aware scheduler over every kernel (the
+    /// software fix for the load-use stall bucket).
+    pub schedule: bool,
+    /// Model a memory→execute bypass in the pipeline (the hardware fix
+    /// for the load-use stall bucket).
+    pub forwarding: bool,
     /// Input seed.
     pub seed: u64,
 }
@@ -138,6 +144,8 @@ impl Default for ExperimentConfig {
             disable_lockstep: false,
             preloaded_barrier: false,
             disable_vfs: false,
+            schedule: false,
+            forwarding: false,
             seed: 0xEC60,
         }
     }
@@ -292,10 +300,19 @@ pub(crate) fn build_app(
     }
 }
 
-fn run_window(app: &BuiltApp, leads: Vec<Vec<i16>>, period: u64) -> Result<Platform, SimError> {
+fn run_window(
+    app: &BuiltApp,
+    leads: Vec<Vec<i16>>,
+    period: u64,
+    forwarding: bool,
+) -> Result<Platform, SimError> {
     let samples = leads[0].len() as u64;
     let total = app.config.adc.start_cycle + samples * period;
     let mut platform = app.platform(leads)?;
+    // Forwarding is a platform property, not a build property: setting
+    // it here keeps the build-cache keys clean (the image is identical
+    // with and without the bypass).
+    platform.set_forwarding(forwarding);
     // The counting sink is cheap enough to leave on for every cell; its
     // histograms become the per-cell latency digest of the sweep record.
     platform.enable_obs(ObsConfig::counting_only());
@@ -357,11 +374,12 @@ pub fn measure_cached(
         broadcast: !config.disable_broadcast,
         lockstep: !config.disable_lockstep,
         barrier: barrier_style(config),
+        schedule: config.schedule,
         adc_period_cycles: calib_period,
     };
     let app = cache.get_or_build(benchmark, variant.arch(), &options, params)?;
     let calib = recording(config, config.calibration_s.min(config.duration_s));
-    let platform = run_window(&app, calib.leads.clone(), calib_period)?;
+    let platform = run_window(&app, calib.leads.clone(), calib_period, config.forwarding)?;
     let stats = platform.stats();
     let samples = stats.adc_samples.max(1) as f64;
     let avg_window = stats
@@ -391,10 +409,11 @@ pub fn measure_cached(
             broadcast: !config.disable_broadcast,
             lockstep: !config.disable_lockstep,
             barrier: barrier_style(config),
+            schedule: config.schedule,
             adc_period_cycles: period,
         };
         let app = cache.get_or_build(benchmark, variant.arch(), &options, params)?;
-        let platform = run_window(&app, calib.leads.clone(), period)?;
+        let platform = run_window(&app, calib.leads.clone(), period, config.forwarding)?;
         if platform.adc_overruns() == 0 {
             feasible_run = Some((period, app, platform));
             break;
@@ -426,10 +445,11 @@ pub fn measure_cached(
                     broadcast: !config.disable_broadcast,
                     lockstep: !config.disable_lockstep,
                     barrier: barrier_style(config),
+                    schedule: config.schedule,
                     adc_period_cycles: period,
                 };
                 let app = cache.get_or_build(benchmark, variant.arch(), &options, params)?;
-                let platform = run_window(&app, full.leads.clone(), period)?;
+                let platform = run_window(&app, full.leads.clone(), period, config.forwarding)?;
                 (app, platform)
             }
         };
@@ -513,11 +533,12 @@ pub fn measure_at_clock_cached(
         broadcast: !config.disable_broadcast,
         lockstep: !config.disable_lockstep,
         barrier: barrier_style(config),
+        schedule: config.schedule,
         adc_period_cycles: period,
     };
     let app = cache.get_or_build(benchmark, variant.arch(), &options, params)?;
     let full = recording(config, config.duration_s);
-    let platform = run_window(&app, full.leads.clone(), period)?;
+    let platform = run_window(&app, full.leads.clone(), period, config.forwarding)?;
     if platform.adc_overruns() > 0 {
         return Err(MeasureError::Overruns {
             overruns: platform.adc_overruns(),

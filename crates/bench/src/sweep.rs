@@ -167,6 +167,40 @@ impl SweepReport {
         self.workers = self.workers.max(other.workers);
     }
 
+    /// Pairs every baseline cell (no scheduling, no forwarding) with the
+    /// fixed cells that differ from it only in those two knobs, for the
+    /// record's `hazard_fixes` block: each entry diffs the load-use
+    /// stall bucket and the power integral before/after the fix.
+    fn hazard_fixes(&self) -> Vec<(&CellOutcome, &CellOutcome, &'static str)> {
+        let mut fixes = Vec::new();
+        for base in &self.outcomes {
+            let c = &base.cell;
+            if c.config.schedule || c.config.forwarding || base.result.is_err() {
+                continue;
+            }
+            for fixed in &self.outcomes {
+                let f = &fixed.cell;
+                let same_cell = f.benchmark == c.benchmark
+                    && f.variant == c.variant
+                    && f.pinned_clock_hz == c.pinned_clock_hz
+                    && f.config.seed == c.config.seed
+                    && f.config.duration_s == c.config.duration_s
+                    && f.config.pathological_fraction == c.config.pathological_fraction;
+                if !same_cell || fixed.result.is_err() {
+                    continue;
+                }
+                let label = match (f.config.schedule, f.config.forwarding) {
+                    (true, false) => "schedule",
+                    (false, true) => "forwarding",
+                    (true, true) => "schedule+forwarding",
+                    (false, false) => continue,
+                };
+                fixes.push((base, fixed, label));
+            }
+        }
+        fixes
+    }
+
     /// Renders the machine-readable sweep record (`BENCH_sweep.json`).
     ///
     /// One key per line; every non-deterministic key contains `wall_` or
@@ -175,7 +209,7 @@ impl SweepReport {
     /// (`workers` is deliberately excluded for the same reason).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"wbsn-bench-sweep/2\",\n");
+        out.push_str("  \"schema\": \"wbsn-bench-sweep/3\",\n");
         out.push_str(&format!("  \"grid_cells\": {},\n", self.outcomes.len()));
         out.push_str(&format!("  \"wall_s\": {},\n", json_f64(self.wall_s)));
         let cycles = self.simulated_cycles();
@@ -210,6 +244,11 @@ impl SweepReport {
                 json_f64(cell.config.pathological_fraction)
             ));
             out.push_str(&format!("      \"seed\": {},\n", cell.config.seed));
+            out.push_str(&format!("      \"schedule\": {},\n", cell.config.schedule));
+            out.push_str(&format!(
+                "      \"forwarding\": {},\n",
+                cell.config.forwarding
+            ));
             out.push_str(&format!(
                 "      \"pinned_clock_hz\": {},\n",
                 match cell.pinned_clock_hz {
@@ -287,6 +326,63 @@ impl SweepReport {
                 }
             }
             out.push_str(if i + 1 < self.outcomes.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ],\n");
+        // Before/after view of the load-use stall bucket: one entry per
+        // (baseline cell, fix) pair present in the grid.
+        let fixes = self.hazard_fixes();
+        out.push_str("  \"hazard_fixes\": [\n");
+        for (i, (base, fixed, label)) in fixes.iter().enumerate() {
+            let (b, f) = match (&base.result, &fixed.result) {
+                (Ok(b), Ok(f)) => (b, f),
+                _ => unreachable!("hazard_fixes only pairs successful cells"),
+            };
+            let before = b.obs.map(|s| s.stall_hazard_cycles).unwrap_or(0);
+            let after = f.obs.map(|s| s.stall_hazard_cycles).unwrap_or(0);
+            let cut = if before > 0 {
+                100.0 * (before.saturating_sub(after)) as f64 / before as f64
+            } else {
+                0.0
+            };
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"benchmark\": \"{}\",\n",
+                base.cell.benchmark.name()
+            ));
+            out.push_str(&format!(
+                "      \"variant\": \"{}\",\n",
+                base.cell.variant.label()
+            ));
+            out.push_str(&format!("      \"fix\": \"{label}\",\n"));
+            out.push_str(&format!(
+                "      \"stall_hazard_cycles_before\": {before},\n"
+            ));
+            out.push_str(&format!("      \"stall_hazard_cycles_after\": {after},\n"));
+            out.push_str(&format!(
+                "      \"stall_hazard_cut_percent\": {},\n",
+                json_f64(cut)
+            ));
+            out.push_str(&format!(
+                "      \"power_uw_before\": {},\n",
+                json_f64(b.power_uw())
+            ));
+            out.push_str(&format!(
+                "      \"power_uw_after\": {},\n",
+                json_f64(f.power_uw())
+            ));
+            out.push_str(&format!(
+                "      \"clock_hz_before\": {},\n",
+                json_f64(b.clock_hz)
+            ));
+            out.push_str(&format!(
+                "      \"clock_hz_after\": {}\n",
+                json_f64(f.clock_hz)
+            ));
+            out.push_str(if i + 1 < fixes.len() {
                 "    },\n"
             } else {
                 "    }\n"
@@ -460,8 +556,9 @@ mod tests {
         );
         assert!(report.outcomes.is_empty());
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"wbsn-bench-sweep/2\""));
+        assert!(json.contains("\"schema\": \"wbsn-bench-sweep/3\""));
         assert!(json.contains("\"grid_cells\": 0"));
+        assert!(json.contains("\"hazard_fixes\": [\n  ]"));
         assert!(json.ends_with("]\n}\n"));
     }
 }

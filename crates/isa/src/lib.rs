@@ -40,6 +40,7 @@ pub mod mem;
 pub mod phase;
 pub mod program;
 pub mod reg;
+pub mod sched;
 pub mod syncflow;
 
 pub use asm::assemble_text;
@@ -53,3 +54,4 @@ pub use mem::{DM_BANKS, DM_BANK_WORDS, DM_WORDS, IM_BANKS, IM_BANK_WORDS, IM_WOR
 pub use phase::{PhaseTable, NO_PHASE};
 pub use program::Program;
 pub use reg::Reg;
+pub use sched::{schedule_program, ScheduleStats};

@@ -1,0 +1,522 @@
+//! Load-latency-aware post-emit scheduling.
+//!
+//! The three-stage pipeline charges a one-cycle stall when an
+//! instruction consumes the register loaded by the immediately
+//! preceding `LW` (see `wbsn-sim`'s hazard model). This pass removes
+//! such stalls in software: for every load-use pair it searches the
+//! following instructions for one that is independent of everything it
+//! would cross and hoists it into the load-use slot, so the consumer is
+//! no longer the next issue slot and the loaded value arrives in time.
+//!
+//! The pass is deliberately conservative — it must preserve semantics
+//! on every input the tool-chain can produce, so an instruction is
+//! only moved when all of the following hold:
+//!
+//! * **No barriers crossed.** Control transfers (`BEQ`…, `JMP`, `JAL`,
+//!   `JR`), the synchronization ISE (`SINC`/`SDEC`/`SNOP`/`SLEEP`) and
+//!   `HALT` end the search: the paper's synchronization protocol gives
+//!   sync instructions ordering semantics with respect to *all*
+//!   surrounding code, and moving across control flow would change the
+//!   executed path.
+//! * **No entry points crossed.** No address inside the moved-over
+//!   range may be a label or a computed branch/jump target (including
+//!   the return address after every `JAL`, which `JR` may target):
+//!   hoisting an instruction above a join point would execute it on
+//!   paths that never contained it.
+//! * **No register dependences violated.** The candidate must not read
+//!   a register written by a crossed instruction (RAW), nor write a
+//!   register read (WAR) or written (WAW) by one. It must not read the
+//!   load's destination — that would re-create the very hazard being
+//!   filled — and, when the candidate is itself a load, its
+//!   destination must not be consumed by the instruction that ends up
+//!   after it.
+//! * **No possible memory aliasing.** A candidate load may not cross a
+//!   store, and a candidate store may not cross any memory operation,
+//!   unless the two accesses provably differ: same (unmodified) base
+//!   register with different offsets. Different base registers are
+//!   assumed to alias.
+//!
+//! Moves are remove/insert within the program, so its length — and
+//! therefore every branch offset whose source and target both lie
+//! outside the moved-over range — is unchanged; the entry-point rule
+//! excludes every other case.
+//!
+//! `JR` is assumed to target only `JAL` return addresses (the
+//! tool-chain's link-register discipline); programs computing jump
+//! targets by other means are outside the pass's input domain.
+//!
+//! # Example
+//!
+//! ```
+//! use wbsn_isa::{schedule_program, Instr, Program, Reg};
+//!
+//! // lw r2, 0(r4); min r5, r5, r2  — a load-use pair; the pointer
+//! // increment below is independent and fills the slot.
+//! let p = Program::from_instrs(vec![
+//!     Instr::lw(Reg::R2, Reg::R4, 0),
+//!     Instr::min(Reg::R5, Reg::R5, Reg::R2),
+//!     Instr::addi(Reg::R4, Reg::R4, 1),
+//!     Instr::Halt,
+//! ]);
+//! let (scheduled, stats) = schedule_program(&p);
+//! assert_eq!(stats.hazards_filled, 1);
+//! assert_eq!(scheduled.instrs()[1], Instr::addi(Reg::R4, Reg::R4, 1));
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::instr::Instr;
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// How far past the load-use slot the pass looks for a candidate.
+const SEARCH_WINDOW: usize = 16;
+
+/// What a scheduling pass did, for listings and sweep records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Load-use pairs encountered while scanning.
+    pub hazards_found: usize,
+    /// Pairs whose stall slot was filled with a hoisted instruction.
+    pub hazards_filled: usize,
+}
+
+/// Register set as a bitmask over the eight architectural registers.
+#[derive(Debug, Clone, Copy, Default)]
+struct RegSet(u8);
+
+impl RegSet {
+    fn insert(&mut self, r: Reg) {
+        self.0 |= 1 << r.index();
+    }
+
+    fn contains(self, r: Reg) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+}
+
+fn sources_of(instr: &Instr) -> impl Iterator<Item = Reg> + '_ {
+    instr.sources().into_iter().flatten()
+}
+
+/// A memory access with a statically analysable address shape.
+#[derive(Debug, Clone, Copy)]
+struct MemAccess {
+    base: Reg,
+    off: i16,
+    is_store: bool,
+}
+
+impl MemAccess {
+    fn of(instr: &Instr) -> Option<MemAccess> {
+        match *instr {
+            Instr::Lw { ra, off, .. } => Some(MemAccess {
+                base: ra,
+                off,
+                is_store: false,
+            }),
+            Instr::Sw { ra, off, .. } => Some(MemAccess {
+                base: ra,
+                off,
+                is_store: true,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Whether two accesses are *provably* disjoint: same base register
+    /// (`written` proves it unmodified between them) and different
+    /// offsets. Anything else is assumed to alias.
+    fn provably_disjoint(self, other: MemAccess, written: RegSet) -> bool {
+        self.base == other.base && self.off != other.off && !written.contains(self.base)
+    }
+}
+
+/// An instruction the search may neither cross nor move: control
+/// transfers (the executed path would change), the synchronization ISE
+/// (ordering semantics with respect to all surrounding code) and `HALT`.
+fn is_barrier(instr: &Instr) -> bool {
+    instr.is_control() || instr.is_sync_ise() || matches!(instr, Instr::Halt)
+}
+
+/// Every address that control flow can enter other than by falling
+/// through: labels, branch/jump targets, and the return address after
+/// each `JAL` (a potential `JR` target).
+fn entry_points(program: &Program) -> Vec<bool> {
+    let len = program.len();
+    let mut entry = vec![false; len];
+    let mut mark = |addr: i64| {
+        if (0..len as i64).contains(&addr) {
+            entry[addr as usize] = true;
+        }
+    };
+    for (_, addr) in program.labels() {
+        mark(addr as i64);
+    }
+    for (pc, instr) in program.instrs().iter().enumerate() {
+        let next = pc as i64 + 1;
+        match *instr {
+            Instr::Branch { off, .. } => mark(next + off as i64),
+            Instr::Jmp { off } => mark(next + off as i64),
+            Instr::Jal { off, .. } => {
+                mark(next + off as i64);
+                mark(next); // JR returns here
+            }
+            _ => {}
+        }
+    }
+    entry
+}
+
+/// Searches `instrs[hazard + 2 ..]` for an instruction that can legally
+/// be hoisted into the load-use slot at `hazard + 1`. Returns its index.
+fn find_candidate(instrs: &[Instr], entry: &[bool], hazard: usize, loaded: Reg) -> Option<usize> {
+    let slot = hazard + 1;
+    let mut read = RegSet::default();
+    let mut written = RegSet::default();
+    let mut crossed_mem: Vec<MemAccess> = Vec::new();
+
+    fn absorb(instr: &Instr, read: &mut RegSet, written: &mut RegSet, mem: &mut Vec<MemAccess>) {
+        for s in sources_of(instr) {
+            read.insert(s);
+        }
+        if let Some(d) = instr.dest() {
+            written.insert(d);
+        }
+        if let Some(m) = MemAccess::of(instr) {
+            mem.push(m);
+        }
+    }
+
+    // The consumer at `slot` is the first crossed instruction; if it is
+    // a barrier or a jump target, nothing may be hoisted above it.
+    let consumer = &instrs[slot];
+    if entry[slot] || is_barrier(consumer) {
+        return None;
+    }
+    absorb(consumer, &mut read, &mut written, &mut crossed_mem);
+
+    let limit = instrs.len().min(slot + 1 + SEARCH_WINDOW);
+    for j in slot + 1..limit {
+        let candidate = &instrs[j];
+        if entry[j] || is_barrier(candidate) {
+            return None; // a jump lands here, or crossing is illegal
+        }
+        let legal = !matches!(candidate, Instr::Nop) // a NOP gains nothing
+            && !sources_of(candidate).any(|s| s == loaded || written.contains(s))
+            && candidate
+                .dest()
+                .is_none_or(|d| !read.contains(d) && !written.contains(d))
+            && MemAccess::of(candidate).is_none_or(|m| {
+                crossed_mem
+                    .iter()
+                    .all(|&c| !(m.is_store || c.is_store) || m.provably_disjoint(c, written))
+            });
+        if legal {
+            return Some(j);
+        }
+        absorb(candidate, &mut read, &mut written, &mut crossed_mem);
+    }
+    None
+}
+
+/// Runs the scheduling pass over `program`, returning the scheduled
+/// program (labels preserved) and what the pass did.
+///
+/// The pass never changes the program's length, its labels, or the
+/// address of any instruction outside the moved-over ranges, so images
+/// built from the result stay link-compatible with unscheduled ones.
+pub fn schedule_program(program: &Program) -> (Program, ScheduleStats) {
+    let mut instrs = program.instrs().to_vec();
+    let entry = entry_points(program);
+    let mut stats = ScheduleStats::default();
+
+    let mut i = 0;
+    while i + 1 < instrs.len() {
+        let Instr::Lw { rd, .. } = instrs[i] else {
+            i += 1;
+            continue;
+        };
+        if !sources_of(&instrs[i + 1]).any(|s| s == rd) {
+            i += 1;
+            continue;
+        }
+        stats.hazards_found += 1;
+        if let Some(j) = find_candidate(&instrs, &entry, i, rd) {
+            let hoisted = instrs.remove(j);
+            instrs.insert(i + 1, hoisted);
+            stats.hazards_filled += 1;
+        }
+        i += 1;
+    }
+
+    let labels: BTreeMap<String, usize> = program
+        .labels()
+        .map(|(name, addr)| (name.to_string(), addr))
+        .collect();
+    (Program::with_labels(instrs, labels), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn instrs(p: &Program) -> Vec<Instr> {
+        p.instrs().to_vec()
+    }
+
+    /// The morphological-scan shape: the pointer increment hoists into
+    /// the load-use slot and the loop stays otherwise intact.
+    #[test]
+    fn fills_the_scan_loop_slot() {
+        let mut b = ProgramBuilder::new();
+        b.label("scan").unwrap();
+        b.push(Instr::lw(Reg::R2, Reg::R4, 0));
+        b.push(Instr::min(Reg::R5, Reg::R5, Reg::R2));
+        b.push(Instr::addi(Reg::R4, Reg::R4, 1));
+        b.push(Instr::addi(Reg::R3, Reg::R3, -1));
+        b.bne_to(Reg::R3, Reg::R0, "scan");
+        b.push(Instr::Halt);
+        let p = b.assemble().unwrap();
+
+        let (s, stats) = schedule_program(&p);
+        assert_eq!(stats.hazards_found, 1);
+        assert_eq!(stats.hazards_filled, 1);
+        assert_eq!(
+            instrs(&s)[..3],
+            [
+                Instr::lw(Reg::R2, Reg::R4, 0),
+                Instr::addi(Reg::R4, Reg::R4, 1),
+                Instr::min(Reg::R5, Reg::R5, Reg::R2),
+            ]
+        );
+        assert_eq!(s.len(), p.len());
+        assert_eq!(s.label("scan"), Some(0));
+    }
+
+    #[test]
+    fn never_hoists_across_sync_instructions() {
+        for sync in [Instr::sinc(1), Instr::sdec(1), Instr::snop(1), Instr::Sleep] {
+            let p = Program::from_instrs(vec![
+                Instr::lw(Reg::R1, Reg::R6, 0),
+                Instr::add(Reg::R2, Reg::R1, Reg::R1),
+                sync,
+                Instr::addi(Reg::R4, Reg::R4, 1), // independent, but gated
+                Instr::Halt,
+            ]);
+            let (s, stats) = schedule_program(&p);
+            assert_eq!(stats.hazards_found, 1);
+            assert_eq!(stats.hazards_filled, 0, "must not cross {sync}");
+            assert_eq!(instrs(&s), instrs(&p));
+        }
+    }
+
+    #[test]
+    fn never_hoists_across_control_flow() {
+        let controls = [
+            Instr::Branch {
+                cond: crate::instr::BranchCond::Eq,
+                ra: Reg::R0,
+                rb: Reg::R0,
+                off: 1,
+            },
+            Instr::Jmp { off: 1 },
+            Instr::Jal {
+                rd: Reg::R7,
+                off: 1,
+            },
+            Instr::Jr { ra: Reg::R7 },
+        ];
+        for control in controls {
+            let p = Program::from_instrs(vec![
+                Instr::lw(Reg::R1, Reg::R6, 0),
+                Instr::add(Reg::R2, Reg::R1, Reg::R1),
+                control,
+                Instr::addi(Reg::R4, Reg::R4, 1),
+                Instr::Halt,
+            ]);
+            let (s, stats) = schedule_program(&p);
+            assert_eq!(stats.hazards_filled, 0, "must not cross {control}");
+            assert_eq!(instrs(&s), instrs(&p));
+        }
+    }
+
+    #[test]
+    fn never_hoists_across_labels_or_branch_targets() {
+        // A label inside the moved-over range: another path enters at
+        // `join`, which must not execute the hoisted instruction.
+        let mut b = ProgramBuilder::new();
+        b.push(Instr::lw(Reg::R1, Reg::R6, 0));
+        b.push(Instr::add(Reg::R2, Reg::R1, Reg::R1));
+        b.label("join").unwrap();
+        b.push(Instr::addi(Reg::R4, Reg::R4, 1));
+        b.push(Instr::Halt);
+        let p = b.assemble().unwrap();
+        let (s, stats) = schedule_program(&p);
+        assert_eq!(stats.hazards_filled, 0);
+        assert_eq!(instrs(&s), instrs(&p));
+
+        // Same shape, but the entry point is a computed branch target
+        // (backward branch from below) rather than a label.
+        let p = Program::from_instrs(vec![
+            Instr::lw(Reg::R1, Reg::R6, 0),
+            Instr::add(Reg::R2, Reg::R1, Reg::R1),
+            Instr::addi(Reg::R4, Reg::R4, 1),
+            Instr::Branch {
+                cond: crate::instr::BranchCond::Ne,
+                ra: Reg::R4,
+                rb: Reg::R0,
+                off: -3, // targets the addi at index 2
+            },
+            Instr::Halt,
+        ]);
+        let (s, stats) = schedule_program(&p);
+        assert_eq!(stats.hazards_filled, 0);
+        assert_eq!(instrs(&s), instrs(&p));
+    }
+
+    #[test]
+    fn respects_register_dependences() {
+        // RAW: the candidate reads r2, which the consumer writes.
+        let p = Program::from_instrs(vec![
+            Instr::lw(Reg::R1, Reg::R6, 0),
+            Instr::add(Reg::R2, Reg::R1, Reg::R1),
+            Instr::add(Reg::R3, Reg::R2, Reg::R0),
+            Instr::Halt,
+        ]);
+        let (s, stats) = schedule_program(&p);
+        assert_eq!(stats.hazards_filled, 0);
+        assert_eq!(instrs(&s), instrs(&p));
+
+        // WAR: the candidate writes r1, which the consumer reads.
+        let p = Program::from_instrs(vec![
+            Instr::lw(Reg::R1, Reg::R6, 0),
+            Instr::add(Reg::R2, Reg::R1, Reg::R1),
+            Instr::Li {
+                rd: Reg::R1,
+                imm: 7,
+            },
+            Instr::Halt,
+        ]);
+        let (s, stats) = schedule_program(&p);
+        assert_eq!(stats.hazards_filled, 0);
+        assert_eq!(instrs(&s), instrs(&p));
+
+        // Reading the loaded register would re-create the hazard.
+        let p = Program::from_instrs(vec![
+            Instr::lw(Reg::R1, Reg::R6, 0),
+            Instr::add(Reg::R2, Reg::R1, Reg::R1),
+            Instr::add(Reg::R3, Reg::R1, Reg::R0),
+            Instr::Halt,
+        ]);
+        let (s, stats) = schedule_program(&p);
+        assert_eq!(stats.hazards_filled, 0);
+        assert_eq!(instrs(&s), instrs(&p));
+    }
+
+    #[test]
+    fn memory_aliasing_blocks_unprovable_moves() {
+        // A candidate store crossing a load with a different base
+        // register: addresses may alias, so the move is refused.
+        let p = Program::from_instrs(vec![
+            Instr::lw(Reg::R1, Reg::R6, 0),
+            Instr::sw(Reg::R1, Reg::R3, 0), // consumer: stores the load
+            Instr::sw(Reg::R5, Reg::R4, 0), // may alias -> stays put
+            Instr::Halt,
+        ]);
+        let (s, stats) = schedule_program(&p);
+        assert_eq!(stats.hazards_filled, 0);
+        assert_eq!(instrs(&s), instrs(&p));
+
+        // Same base register, same offset: provably the same word.
+        let p = Program::from_instrs(vec![
+            Instr::lw(Reg::R1, Reg::R6, 0),
+            Instr::sw(Reg::R1, Reg::R3, 0),
+            Instr::lw(Reg::R5, Reg::R3, 0), // reads what the sw wrote
+            Instr::Halt,
+        ]);
+        let (s, stats) = schedule_program(&p);
+        assert_eq!(stats.hazards_filled, 0);
+        assert_eq!(instrs(&s), instrs(&p));
+    }
+
+    #[test]
+    fn provably_disjoint_accesses_may_cross() {
+        // Same base register, different offsets, base unmodified: the
+        // candidate load crosses the store legally.
+        let p = Program::from_instrs(vec![
+            Instr::lw(Reg::R1, Reg::R6, 0),
+            Instr::sw(Reg::R1, Reg::R3, 1),
+            Instr::lw(Reg::R5, Reg::R3, 2),
+            Instr::Halt,
+        ]);
+        let (s, stats) = schedule_program(&p);
+        assert_eq!(stats.hazards_filled, 1);
+        assert_eq!(
+            instrs(&s)[..3],
+            [
+                Instr::lw(Reg::R1, Reg::R6, 0),
+                Instr::lw(Reg::R5, Reg::R3, 2),
+                Instr::sw(Reg::R1, Reg::R3, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn hoisted_load_must_not_create_a_new_hazard() {
+        // The candidate load's destination r1 is read by the consumer,
+        // so hoisting it would just move the stall; refused.
+        let p = Program::from_instrs(vec![
+            Instr::lw(Reg::R1, Reg::R6, 0),
+            Instr::add(Reg::R2, Reg::R1, Reg::R1),
+            Instr::lw(Reg::R1, Reg::R6, 1),
+            Instr::Halt,
+        ]);
+        let (s, stats) = schedule_program(&p);
+        assert_eq!(stats.hazards_filled, 0);
+        assert_eq!(instrs(&s), instrs(&p));
+
+        // An unrelated destination is fine.
+        let p = Program::from_instrs(vec![
+            Instr::lw(Reg::R1, Reg::R6, 0),
+            Instr::add(Reg::R2, Reg::R1, Reg::R1),
+            Instr::lw(Reg::R5, Reg::R6, 1),
+            Instr::Halt,
+        ]);
+        let (_, stats) = schedule_program(&p);
+        assert_eq!(stats.hazards_filled, 1);
+    }
+
+    #[test]
+    fn preserves_length_and_labels_everywhere() {
+        let mut b = ProgramBuilder::new();
+        b.label("top").unwrap();
+        b.push(Instr::lw(Reg::R2, Reg::R4, 0));
+        b.push(Instr::min(Reg::R5, Reg::R5, Reg::R2));
+        b.push(Instr::addi(Reg::R4, Reg::R4, 1));
+        b.push(Instr::addi(Reg::R3, Reg::R3, -1));
+        b.bne_to(Reg::R3, Reg::R0, "top");
+        b.label("end").unwrap();
+        b.push(Instr::Halt);
+        let p = b.assemble().unwrap();
+        let (s, _) = schedule_program(&p);
+        assert_eq!(s.len(), p.len());
+        let before: Vec<_> = p.labels().map(|(n, a)| (n.to_string(), a)).collect();
+        let after: Vec<_> = s.labels().map(|(n, a)| (n.to_string(), a)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn unfillable_hazard_is_counted_but_untouched() {
+        let p = Program::from_instrs(vec![
+            Instr::lw(Reg::R1, Reg::R6, 0),
+            Instr::add(Reg::R2, Reg::R1, Reg::R1),
+            Instr::Halt,
+        ]);
+        let (s, stats) = schedule_program(&p);
+        assert_eq!(stats.hazards_found, 1);
+        assert_eq!(stats.hazards_filled, 0);
+        assert_eq!(instrs(&s), instrs(&p));
+    }
+}

@@ -51,6 +51,10 @@ pub struct BuildOptions {
     pub lockstep: bool,
     /// How lock-step barriers are realized.
     pub barrier: BarrierStyle,
+    /// Whether the load-latency-aware scheduler
+    /// ([`wbsn_isa::schedule_program`]) runs over every emitted section,
+    /// filling load-use slots with later independent instructions.
+    pub schedule: bool,
     /// ADC sampling period in cycles (at the simulated clock).
     pub adc_period_cycles: u64,
 }
@@ -62,6 +66,7 @@ impl Default for BuildOptions {
             broadcast: true,
             lockstep: true,
             barrier: BarrierStyle::SincSdec,
+            schedule: false,
             adc_period_cycles: 4000, // 250 Hz at 1 MHz
         }
     }

@@ -12,6 +12,7 @@ use wbsn_isa::{Linker, Section};
 use crate::app::{
     benchmark_config, Arch, BarrierStyle, BuildError, BuildOptions, BuiltApp, SyncApproach,
 };
+use crate::emit::maybe_schedule;
 use crate::layout::SYNC_POINTS;
 use crate::phases::{
     build_classifier_phase, build_combiner_phase, build_delineator_phase, build_filter_phase,
@@ -42,7 +43,10 @@ pub fn build_mf(arch: Arch, options: &BuildOptions) -> Result<BuiltApp, BuildErr
     let mut preloads = Vec::new();
     let (active_cores, plan) = match arch {
         Arch::SingleCore => {
-            linker.add_section(Section::new("mf", build_mf_single()?));
+            linker.add_section(Section::new(
+                "mf",
+                maybe_schedule(build_mf_single()?, options.schedule),
+            ));
             linker.set_entry(0, "mf");
             (1, None)
         }
@@ -80,6 +84,7 @@ pub fn build_mf(arch: Arch, options: &BuildOptions) -> Result<BuiltApp, BuildErr
                 wait_style(arch, options.approach),
                 wiring,
             )?;
+            let program = maybe_schedule(program, options.schedule);
             linker.add_section(Section::in_bank("cond", program, plan.bank_of(conds[0])));
             for &c in &conds {
                 linker.set_entry(plan.core_of(c).index(), "cond");
@@ -116,7 +121,10 @@ pub fn build_mmd(arch: Arch, options: &BuildOptions) -> Result<BuiltApp, BuildEr
     let mut preloads = Vec::new();
     let (active_cores, plan) = match arch {
         Arch::SingleCore => {
-            linker.add_section(Section::new("mmd", build_mmd_single()?));
+            linker.add_section(Section::new(
+                "mmd",
+                maybe_schedule(build_mmd_single()?, options.schedule),
+            ));
             linker.set_entry(0, "mmd");
             (1, None)
         }
@@ -170,6 +178,9 @@ pub fn build_mmd(arch: Arch, options: &BuildOptions) -> Result<BuiltApp, BuildEr
             )?;
             let delineator =
                 build_delineator_phase(style, StreamMode::Contiguous, hw.then_some(cpt2))?;
+            let filter = maybe_schedule(filter, options.schedule);
+            let combiner = maybe_schedule(combiner, options.schedule);
+            let delineator = maybe_schedule(delineator, options.schedule);
             linker.add_section(Section::in_bank("cond", filter, plan.bank_of(conds[0])));
             linker.add_section(Section::in_bank("combine", combiner, plan.bank_of(comb)));
             linker.add_section(Section::in_bank(
@@ -222,7 +233,10 @@ pub fn build_rpclass(
     }
     let (active_cores, plan) = match arch {
         Arch::SingleCore => {
-            linker.add_section(Section::new("rpclass", build_rpclass_single()?));
+            linker.add_section(Section::new(
+                "rpclass",
+                maybe_schedule(build_rpclass_single()?, options.schedule),
+            ));
             linker.set_entry(0, "rpclass");
             (1, None)
         }
@@ -295,6 +309,11 @@ pub fn build_rpclass(
                 hw.then_some(cpt2),
             )?;
             let delineator = build_delineator_phase(style, StreamMode::Burst, hw.then_some(cpt2))?;
+            let classifier = maybe_schedule(classifier, options.schedule);
+            let cond0_prog = maybe_schedule(cond0_prog, options.schedule);
+            let filter = maybe_schedule(filter, options.schedule);
+            let combiner = maybe_schedule(combiner, options.schedule);
+            let delineator = maybe_schedule(delineator, options.schedule);
             linker.add_section(Section::in_bank(
                 "classify",
                 classifier,

@@ -338,6 +338,21 @@ impl LeadPtrs {
     }
 }
 
+/// Runs the load-latency-aware scheduler
+/// ([`wbsn_isa::schedule_program`]) over `program` when `schedule` is
+/// on, returning it untouched otherwise.
+///
+/// Every generated section passes through here on its way to the
+/// linker, so `BuildOptions::schedule` flips all of a benchmark's
+/// kernels at once and golden listings can diff the two forms.
+pub fn maybe_schedule(program: Program, schedule: bool) -> Program {
+    if schedule {
+        wbsn_isa::schedule_program(&program).0
+    } else {
+        program
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

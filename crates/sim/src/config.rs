@@ -49,6 +49,11 @@ pub struct PlatformConfig {
     /// Size of the shared data-memory section in words; addresses below
     /// this limit are shared and interleaved across all banks.
     pub shared_words: u32,
+    /// Whether the pipeline forwards load results from the memory stage
+    /// to the execute stage. When enabled, a back-to-back load-use pair
+    /// costs no hazard stall; when disabled (the paper's baseline), the
+    /// consumer of a just-loaded register stalls one cycle.
+    pub forwarding: bool,
     /// Number of synchronization points managed by the synchronizer.
     pub sync_points: usize,
     /// First shared address of the synchronization-point region.
@@ -64,6 +69,7 @@ impl PlatformConfig {
             cores: 8,
             interconnect: InterconnectKind::Crossbar,
             broadcast: true,
+            forwarding: false,
             shared_words: 0x1000,
             sync_points: 16,
             sync_base: 0x0010,
@@ -78,6 +84,7 @@ impl PlatformConfig {
             cores: 1,
             interconnect: InterconnectKind::Decoder,
             broadcast: false,
+            forwarding: false,
             // The baseline has no shared/private division (no ATU): the
             // whole memory is one flat space.
             shared_words: 0,

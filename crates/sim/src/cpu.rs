@@ -114,7 +114,9 @@ impl Core {
     }
 
     /// Whether `instr` would consume the register loaded by the
-    /// immediately preceding `LW` (one-cycle stall despite forwarding).
+    /// immediately preceding `LW` (a one-cycle stall, unless the
+    /// platform models a memory→execute bypass — see
+    /// `PlatformConfig::forwarding`).
     pub fn has_load_use_hazard(&self, instr: &Instr) -> bool {
         match self.hazard {
             Some(dest) => instr.sources().iter().flatten().any(|&s| s == dest),

@@ -269,6 +269,16 @@ impl Platform {
         self.slow_decode = slow;
     }
 
+    /// Enables or disables the memory→execute forwarding path.
+    ///
+    /// With forwarding on, a consumer issued immediately after a load
+    /// of one of its sources no longer pays the one-cycle load-use
+    /// hazard stall. Defaults to off in both presets, matching the
+    /// paper's pipeline.
+    pub fn set_forwarding(&mut self, on: bool) {
+        self.config.forwarding = on;
+    }
+
     /// Enables retirement tracing: the last `capacity` retirements of
     /// the cores selected by `core_mask` (bit per core) are kept in a
     /// ring readable through [`Platform::trace`].
@@ -761,6 +771,11 @@ impl Platform {
                 Grant::Stall => {
                     self.stats.im.conflicts += 1;
                     self.stats.cores[slot_idx].stall_im += 1;
+                    // The dead fetch cycle covers the load latency: the
+                    // eventual consumer is no longer the immediately next
+                    // issue slot, so a surviving hazard latch must not
+                    // charge a phantom stall on top of the IM stall.
+                    self.slots[slot_idx].core.clear_hazard();
                     self.obs.stall(cycle, slot_idx, StallCause::ImConflict);
                     if let Some(tracer) = &mut self.tracer {
                         tracer.record_stall(StallRecord {
@@ -784,7 +799,7 @@ impl Platform {
                 continue;
             }
             let Some(decoded) = slot.held else { continue };
-            if slot.core.has_load_use_hazard_mask(decoded.src_mask) {
+            if !self.config.forwarding && slot.core.has_load_use_hazard_mask(decoded.src_mask) {
                 slot.core.clear_hazard();
                 let pc = slot.core.pc();
                 self.stats.cores[idx].stall_hazard += 1;
@@ -991,7 +1006,11 @@ impl Platform {
             self.slots[core.index()].core.set_gated(true);
         }
         for core in outcome.woken.iter() {
-            self.slots[core.index()].core.set_gated(false);
+            let slot = &mut self.slots[core.index()];
+            slot.core.set_gated(false);
+            // Invariant guard: a load retired just before a sleep must
+            // not charge the first post-wake instruction a hazard stall.
+            slot.core.clear_hazard();
         }
 
         self.stats.cycles += 1;
@@ -1072,9 +1091,10 @@ impl Platform {
 
             // Hazard check and memory resolution.
             let decoded = self.slots[0].held.expect("fetched or previously held");
-            if self.slots[0]
-                .core
-                .has_load_use_hazard_mask(decoded.src_mask)
+            if !self.config.forwarding
+                && self.slots[0]
+                    .core
+                    .has_load_use_hazard_mask(decoded.src_mask)
             {
                 self.slots[0].core.clear_hazard();
                 let pc = self.slots[0].core.pc();
@@ -1216,7 +1236,10 @@ impl Platform {
             self.slots[core.index()].core.set_gated(true);
         }
         for core in outcome.woken.iter() {
-            self.slots[core.index()].core.set_gated(false);
+            let slot = &mut self.slots[core.index()];
+            slot.core.set_gated(false);
+            // Invariant guard, mirroring the multi-core path.
+            slot.core.clear_hazard();
         }
 
         self.stats.cycles += 1;
@@ -1332,6 +1355,110 @@ mod tests {
         let cs = &p.stats().cores[0];
         assert_eq!(cs.stall_hazard, 1);
         assert_eq!(p.core(0).reg(wbsn_isa::Reg::R3), 0x80);
+    }
+
+    #[test]
+    fn forwarding_waives_the_load_use_stall() {
+        // Same program as `load_use_hazard_costs_a_cycle`, but with the
+        // memory→execute bypass on: the back-to-back load-use pair must
+        // cost no hazard stall and still compute the right value.
+        let mut p = single_core_platform(
+            "li r1, 0x40\n\
+             sw r1, 0x40(r0)\n\
+             lw r2, 0x40(r0)\n\
+             add r3, r2, r2\n\
+             halt\n",
+        );
+        p.set_forwarding(true);
+        assert_eq!(p.run(1000).unwrap(), RunExit::AllHalted);
+        let cs = &p.stats().cores[0];
+        assert_eq!(cs.stall_hazard, 0);
+        assert_eq!(p.core(0).reg(wbsn_isa::Reg::R3), 0x80);
+    }
+
+    #[test]
+    fn im_conflict_between_load_and_consumer_charges_no_phantom_hazard() {
+        // Core 1 shares IM bank 0 with core 0, which runs a long nop
+        // sled and therefore fetches every cycle; the rotating arbiter
+        // grants core 1 only one fetch in eight, so at least one
+        // IM-conflict stall is guaranteed between core 1's `lw` and the
+        // dependent `add`. That dead cycle already covers the load
+        // latency, so a surviving hazard latch must not charge a stall
+        // on top of the IM stall.
+        let sled = "nop\n".repeat(120) + "halt\n";
+        let hog = assemble_text(&sled).unwrap();
+        let loaduse = assemble_text(
+            "li r1, 0x2A\n\
+             sw r1, 0x100(r0)\n\
+             lw r2, 0x100(r0)\n\
+             add r3, r2, r2\n\
+             sw r3, 0x101(r0)\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut linker = Linker::new();
+        linker.add_section(Section::in_bank("hog", hog, 0));
+        linker.add_section(Section::in_bank("loaduse", loaduse, 0));
+        linker.set_entry(0, "hog");
+        linker.set_entry(1, "loaduse");
+        let image = linker.link().unwrap();
+        let mut p = Platform::new(PlatformConfig::multi_core(), &image).unwrap();
+        assert_eq!(p.run(10_000).unwrap(), RunExit::AllHalted);
+        let cs = &p.stats().cores[1];
+        assert!(cs.stall_im > 0, "the bank conflict must have happened");
+        assert_eq!(
+            cs.stall_hazard, 0,
+            "the IM-stall dead cycle covers the load latency"
+        );
+        assert_eq!(p.peek_dm(0x101).unwrap(), 0x54);
+    }
+
+    #[test]
+    fn taken_branch_squash_clears_the_hazard_latch() {
+        // A jump right after the load: the consumer of the loaded
+        // register issues after the taken-branch bubble, so the latch
+        // set by the `lw` must not charge it a phantom hazard stall.
+        let mut p = single_core_platform(
+            "li r1, 7\n\
+             sw r1, 0x40(r0)\n\
+             lw r2, 0x40(r0)\n\
+             jmp target\n\
+             nop\n\
+             target: add r3, r2, r2\n\
+             sw r3, 0x41(r0)\n\
+             halt\n",
+        );
+        assert_eq!(p.run(1000).unwrap(), RunExit::AllHalted);
+        let cs = &p.stats().cores[0];
+        assert_eq!(cs.stall_hazard, 0);
+        assert_eq!(cs.bubbles, 1, "one taken jump");
+        assert_eq!(p.peek_dm(0x41).unwrap(), 14);
+    }
+
+    #[test]
+    fn wake_after_sleep_charges_no_phantom_hazard() {
+        // Load, subscribe, sleep; the first instructions after the wake
+        // consume the pre-sleep loaded register. Any latch surviving the
+        // gated interval would charge a phantom stall here.
+        let mut p = single_core_platform(
+            "li r1, 9\n\
+             sw r1, 0x40(r0)\n\
+             li r1, 1\n\
+             lui r2, 0x7F\n\
+             ori r2, r2, 0x20\n\
+             sw r1, 0(r2)\n\
+             lw r4, 0x40(r0)\n\
+             sleep\n\
+             add r3, r4, r4\n\
+             sw r3, 0x200(r0)\n\
+             halt\n",
+        );
+        p.set_adc_streams(vec![vec![55]]);
+        assert_eq!(p.run(100_000).unwrap(), RunExit::AllHalted);
+        let cs = &p.stats().cores[0];
+        assert!(cs.gated_cycles > 0, "core slept until the sample");
+        assert_eq!(cs.stall_hazard, 0);
+        assert_eq!(p.peek_dm(0x200).unwrap(), 18);
     }
 
     #[test]

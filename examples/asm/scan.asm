@@ -1,0 +1,33 @@
+; Load-use hazard demo: a morphological-style scan whose hot loop has a
+; back-to-back `lw` → `min` pair, the dominant stall shape of the
+; generated kernels. Assembled twice by the observability smoke job —
+; plain and with `--schedule` — to prove the load-latency-aware
+; scheduler cuts the hazard-stall bucket on a committed workload:
+;   wbsn-asm -o scan.img examples/asm/scan.asm
+;   wbsn-asm --schedule -o scan-sched.img examples/asm/scan.asm
+;   wbsn-run --profile scan.img
+.equ N, 16
+.equ BASE, 0x80
+.equ RESULT, 0xA0
+    ; Fill BASE..BASE+N with N..1.
+    li r1, N
+    li r4, BASE
+fill:
+    sw r1, 0(r4)
+    addi r4, r4, 1
+    addi r1, r1, -1
+    bne r1, r0, fill
+    ; Scan for the minimum; `min` consumes the word loaded one slot
+    ; earlier, so every iteration stalls a cycle unless the scheduler
+    ; hoists an independent pointer/counter update into the slot.
+    li r4, BASE
+    li r3, N
+    li r5, 0x7FF
+scan:
+    lw r2, 0(r4)
+    min r5, r5, r2
+    addi r4, r4, 1
+    addi r3, r3, -1
+    bne r3, r0, scan
+    sw r5, RESULT(r0)
+    halt

@@ -9,6 +9,9 @@
 //!                           findings are warnings, sync-flow violations
 //!                           (unbalanced SINC/SDEC, counter range,
 //!                           unallocated points) reject the build
+//!   --schedule              run the load-latency-aware scheduler over
+//!                           every section: load-use slots are filled
+//!                           with later independent instructions
 //!   --entry <core=section>  entry point (repeatable; section = file stem)
 //!   --data <addr=v,v,...>   initial data-memory segment (repeatable)
 //!
@@ -20,16 +23,19 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use wbsn::isa::{assemble_text, image, lint, syncflow, DataSegment, Linker, Section};
+use wbsn::isa::{
+    assemble_text, image, lint, schedule_program, syncflow, DataSegment, Linker, Section,
+};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: wbsn-asm [-o out.img] [--lint] [--entry core=section]... [--data addr=v,v,..]... <file[:bank]>...");
+    eprintln!("usage: wbsn-asm [-o out.img] [--lint] [--schedule] [--entry core=section]... [--data addr=v,v,..]... <file[:bank]>...");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut out = "a.img".to_string();
     let mut run_lint = false;
+    let mut schedule = false;
     let mut entries: Vec<(usize, String)> = Vec::new();
     let mut data: Vec<DataSegment> = Vec::new();
     let mut inputs: Vec<(String, Option<usize>)> = Vec::new();
@@ -71,6 +77,7 @@ fn main() -> ExitCode {
                 data.push(DataSegment::new(addr, words));
             }
             "--lint" => run_lint = true,
+            "--schedule" => schedule = true,
             "-h" | "--help" => return usage(),
             path => {
                 let (file, bank) = match path.rsplit_once(':') {
@@ -116,6 +123,18 @@ fn main() -> ExitCode {
                 violations += 1;
             }
         }
+        let program = if schedule {
+            let (scheduled, stats) = schedule_program(&program);
+            if stats.hazards_found > 0 {
+                eprintln!(
+                    "wbsn-asm: {file}: schedule: filled {}/{} load-use slot(s)",
+                    stats.hazards_filled, stats.hazards_found
+                );
+            }
+            scheduled
+        } else {
+            program
+        };
         let name = Path::new(file)
             .file_stem()
             .and_then(|s| s.to_str())

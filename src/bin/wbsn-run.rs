@@ -4,6 +4,8 @@
 //! USAGE: wbsn-run [OPTIONS] <image.img>
 //!
 //!   --single-core        decoder baseline (default: 8-core platform)
+//!   --forwarding         model a memory→execute bypass: back-to-back
+//!                        load-use pairs cost no hazard stall
 //!   --cycles <N>         cycle budget (default: 1,000,000)
 //!   --check              statically verify the image's synchronization
 //!                        protocol before running; violations abort
@@ -29,13 +31,14 @@ use wbsn::sim::{stats_json, ObsConfig, Platform, PlatformConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: wbsn-run [--single-core] [--cycles N] [--check] [--watchdog-cycles N] [--dump addr:len]... [--trace N] [--break pc]... [--watch addr]... [--trace-json path] [--profile] [--stats-json path] <image.img>"
+        "usage: wbsn-run [--single-core] [--forwarding] [--cycles N] [--check] [--watchdog-cycles N] [--dump addr:len]... [--trace N] [--break pc]... [--watch addr]... [--trace-json path] [--profile] [--stats-json path] <image.img>"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut single_core = false;
+    let mut forwarding = false;
     let mut cycles: u64 = 1_000_000;
     let mut check = false;
     let mut watchdog: Option<u64> = None;
@@ -52,6 +55,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--single-core" => single_core = true,
+            "--forwarding" => forwarding = true,
             "--check" => check = true,
             "--cycles" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => cycles = n,
@@ -148,6 +152,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    platform.set_forwarding(forwarding);
     if let Some(capacity) = trace {
         platform.enable_trace(capacity, 0xFF);
     }

@@ -11,6 +11,10 @@
 //!   architecturally invisible: statistics and retirement traces equal
 //!   to the legacy decode-per-cycle path (compiled in via the
 //!   `slow-decode` feature) on every benchmark.
+//! * **scheduled vs unscheduled** — the load-latency-aware scheduler
+//!   reorders instructions but must never change what is computed:
+//!   scheduled images produce byte-identical DSP outputs on every input
+//!   seed, while spending fewer hazard-stall cycles.
 
 use wbsn::dsp::ecg::{synthesize, EcgConfig, EcgRecording};
 use wbsn::kernels::{
@@ -37,12 +41,23 @@ fn options() -> BuildOptions {
     }
 }
 
+fn scheduled_options() -> BuildOptions {
+    BuildOptions {
+        schedule: true,
+        ..options()
+    }
+}
+
 fn apps(arch: Arch) -> Vec<BuiltApp> {
+    apps_with(arch, &options())
+}
+
+fn apps_with(arch: Arch, options: &BuildOptions) -> Vec<BuiltApp> {
     let params = ClassifierParams::default_trained();
     vec![
-        build_mf(arch, &options()).expect("mf builds"),
-        build_mmd(arch, &options()).expect("mmd builds"),
-        build_rpclass(arch, &options(), &params).expect("rpclass builds"),
+        build_mf(arch, options).expect("mf builds"),
+        build_mmd(arch, options).expect("mmd builds"),
+        build_rpclass(arch, options, &params).expect("rpclass builds"),
     ]
 }
 
@@ -141,6 +156,32 @@ fn single_core_and_multi_core_produce_identical_dsp_outputs() {
                 diverging.len(),
                 diverging[0]
             );
+        }
+    }
+}
+
+#[test]
+fn scheduled_images_produce_identical_dsp_outputs() {
+    for (seed, fraction) in [(0xA11CE, 0.0), (0xB0B5EED, 0.3), (0xC0FFEE, 1.0)] {
+        let rec = recording(seed, fraction);
+        for arch in [Arch::SingleCore, Arch::MultiCore] {
+            for (plain, scheduled) in apps(arch).iter().zip(apps_with(arch, &scheduled_options())) {
+                let base = run(plain, rec.leads.clone());
+                let sched = run(&scheduled, rec.leads.clone());
+                assert_eq!(
+                    signature_for(plain, &base),
+                    signature_for(plain, &sched),
+                    "{} {arch:?} seed {seed:#x}: scheduling changed the DSP outputs",
+                    plain.name
+                );
+                let before: u64 = base.stats().cores.iter().map(|c| c.stall_hazard).sum();
+                let after: u64 = sched.stats().cores.iter().map(|c| c.stall_hazard).sum();
+                assert!(
+                    after <= before,
+                    "{} {arch:?} seed {seed:#x}: scheduling added hazard stalls ({before} -> {after})",
+                    plain.name
+                );
+            }
         }
     }
 }

@@ -19,14 +19,19 @@ fn all_apps() -> Vec<BuiltApp> {
     let params = ClassifierParams::default_trained();
     let mut apps = Vec::new();
     for approach in [SyncApproach::Hardware, SyncApproach::BusyWait] {
-        let options = BuildOptions {
-            approach,
-            ..BuildOptions::default()
-        };
-        for arch in [Arch::SingleCore, Arch::MultiCore] {
-            apps.push(build_mf(arch, &options).expect("mf builds"));
-            apps.push(build_mmd(arch, &options).expect("mmd builds"));
-            apps.push(build_rpclass(arch, &options, &params).expect("rpclass builds"));
+        // Scheduled images reorder but never rewrite instructions, so
+        // the roundtrip below also pins the scheduler's output.
+        for schedule in [false, true] {
+            let options = BuildOptions {
+                approach,
+                schedule,
+                ..BuildOptions::default()
+            };
+            for arch in [Arch::SingleCore, Arch::MultiCore] {
+                apps.push(build_mf(arch, &options).expect("mf builds"));
+                apps.push(build_mmd(arch, &options).expect("mmd builds"));
+                apps.push(build_rpclass(arch, &options, &params).expect("rpclass builds"));
+            }
         }
     }
     apps
